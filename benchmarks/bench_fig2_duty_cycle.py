@@ -1,0 +1,49 @@
+"""Fig. 2 reproduction: interrupt-driven duty-cycled operation.
+
+The figure is a timing diagram; the quantitative content is the duty cycle
+of the processor at tF = 66 ms and how the power advantage shrinks as tF
+gets smaller (the paper: "this scheme loses appeal as tF becomes smaller").
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.report import format_comparison_table
+from repro.sensor.duty_cycle import DutyCycleModel
+
+
+def _duty_cycle_sweep():
+    model = DutyCycleModel(frame_duration_us=66_000)
+    rows = model.compare_frame_durations([8_000, 16_000, 33_000, 66_000, 132_000])
+    trace = model.simulate(num_frames=3)
+    return rows, trace
+
+
+def test_fig2_duty_cycle_timing(benchmark):
+    """Regenerate the duty-cycle timing/power numbers behind Fig. 2."""
+    rows, trace = benchmark.pedantic(_duty_cycle_sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_comparison_table(
+            rows,
+            [
+                "frame_duration_us",
+                "frame_rate_hz",
+                "duty_cycle",
+                "average_power_mw",
+                "power_saving_factor",
+            ],
+            title="Fig. 2 — duty-cycled operation vs frame duration",
+        )
+    )
+    print(
+        f"\ntF = 66 ms trace: active fraction = {trace.active_fraction():.3f}, "
+        f"{len(trace.intervals)} intervals over {trace.total_time_us() / 1e3:.1f} ms"
+    )
+
+    paper_row = next(row for row in rows if row["frame_duration_us"] == 66_000)
+    # ~15 Hz frame rate and a deeply duty-cycled processor.
+    assert 14.0 < paper_row["frame_rate_hz"] < 16.0
+    assert paper_row["duty_cycle"] < 0.2
+    # The power saving factor shrinks monotonically as tF shrinks.
+    savings = [row["power_saving_factor"] for row in rows]
+    assert all(a <= b for a, b in zip(savings, savings[1:]))

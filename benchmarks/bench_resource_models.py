@@ -1,0 +1,78 @@
+"""Eq. (1)-(8) reproduction: every per-stage resource figure quoted in the text.
+
+Paper quotes:
+  C_EBBI   = 125.2 kops/frame     M_EBBI   = 10.8 kB
+  C_NNfilt ≈ 276.4 kops/frame     M_NNfilt = 8X larger than M_EBBI
+  C_RPN    = 45.6 kops/frame (*)  M_RPN    ≈ 1.6 kB
+  C_OT     ≈ 564 ops/frame        M_OT     < 0.5 kB
+  C_KF     = 1200 ops/frame       M_KF     ≈ 1.1 kB
+  C_EBMS   = 252 kops/frame       M_EBMS   = 408*CLmax + 56
+  (*) the literal Eq. (5) evaluates to 48.0 kops; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.report import format_comparison_table
+from repro.resources import (
+    EbbiResourceModel,
+    EbmsResourceModel,
+    KalmanResourceModel,
+    NnFilterResourceModel,
+    OverlapTrackerResourceModel,
+    ResourceParams,
+    RpnResourceModel,
+)
+
+PAPER_VALUES = {
+    "EBBI + median filter": {"computes": 125_200, "memory_kb": 10.8},
+    "NN-filter": {"computes": 276_400, "memory_kb": 86.4},
+    "histogram RPN": {"computes": 45_600, "memory_kb": 1.6},
+    "overlap tracker": {"computes": 564, "memory_kb": 0.5},
+    "Kalman filter tracker": {"computes": 1_200, "memory_kb": 1.1},
+    "EBMS tracker": {"computes": 252_000, "memory_kb": 0.4},
+}
+
+
+def _stage_summaries():
+    params = ResourceParams.paper_defaults()
+    models = [
+        EbbiResourceModel(params),
+        NnFilterResourceModel(params),
+        RpnResourceModel(params),
+        OverlapTrackerResourceModel(params),
+        KalmanResourceModel(params),
+        EbmsResourceModel(params),
+    ]
+    rows = []
+    for model in models:
+        summary = model.summary()
+        paper = PAPER_VALUES[summary["name"]]
+        rows.append(
+            {
+                "stage": summary["name"],
+                "computes_per_frame": summary["computes_per_frame"],
+                "paper_computes": paper["computes"],
+                "memory_kilobytes": summary["memory_kilobytes"],
+                "paper_memory_kb": paper["memory_kb"],
+            }
+        )
+    return rows
+
+
+def test_eq1_to_eq8_stage_resources(benchmark):
+    """Regenerate every per-stage compute/memory figure of Section II."""
+    rows = benchmark.pedantic(_stage_summaries, rounds=1, iterations=1)
+    print()
+    print(
+        format_comparison_table(
+            rows,
+            ["stage", "computes_per_frame", "paper_computes", "memory_kilobytes", "paper_memory_kb"],
+            title="Eq. (1)-(8) — per-stage resources (model vs paper)",
+        )
+    )
+    for row in rows:
+        # Each modelled compute count is within 10 % of the paper's quoted
+        # value (the RPN discrepancy is 5 %, documented in EXPERIMENTS.md).
+        assert row["computes_per_frame"] == row["paper_computes"] * (
+            1.0
+        ) or abs(row["computes_per_frame"] - row["paper_computes"]) / row["paper_computes"] < 0.10

@@ -1,0 +1,47 @@
+"""Table I reproduction: dataset details for the two recording sites.
+
+Paper (Table I):
+
+    Location  Lens(mm)  Duration(s)  Num Events
+    ENG       12        2998.4       107.5M
+    LT4       6         999.5        12.5M
+
+We report the simulated (scaled) recordings plus the event counts
+extrapolated to the paper's full durations.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.report import format_comparison_table
+
+
+def _table1_rows(recordings):
+    return [recording.table1_row() for recording in recordings]
+
+
+def test_table1_dataset_details(both_recordings, benchmark):
+    """Regenerate the Table I rows from the synthetic recordings."""
+    rows = benchmark.pedantic(
+        _table1_rows, args=(both_recordings,), rounds=1, iterations=1
+    )
+    columns = [
+        "location",
+        "lens_mm",
+        "simulated_duration_s",
+        "simulated_num_events",
+        "event_rate_per_s",
+        "extrapolated_num_events",
+        "paper_duration_s",
+        "paper_num_events",
+        "num_ground_truth_tracks",
+    ]
+    print()
+    print(format_comparison_table(rows, columns, title="Table I — dataset details"))
+
+    # Structural checks mirroring the paper: two sites, ENG uses the longer
+    # lens and has the (much) higher event rate.
+    assert [row["location"] for row in rows] == ["ENG", "LT4"]
+    eng, lt4 = rows
+    assert eng["lens_mm"] == 12.0 and lt4["lens_mm"] == 6.0
+    assert eng["event_rate_per_s"] > lt4["event_rate_per_s"]
+    assert eng["simulated_num_events"] > 0 and lt4["simulated_num_events"] > 0

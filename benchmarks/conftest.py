@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+The benchmarks regenerate the paper's tables and figures on scaled-down
+synthetic recordings (see DESIGN.md for the substitution rationale).  The
+recordings are built once per session and shared; each benchmark prints the
+rows/series it reproduces so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the experiment log for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import ENG_LIKE_SPEC, LT4_LIKE_SPEC, build_recording
+
+#: Durations used for the benchmark recordings (seconds).  Long enough for a
+#: few dozen vehicles at the configured arrival rates, short enough to keep
+#: the whole benchmark suite in the minutes range on a laptop.
+ENG_BENCH_DURATION_S = 25.0
+LT4_BENCH_DURATION_S = 20.0
+
+
+@pytest.fixture(scope="session")
+def eng_recording():
+    """ENG-like (12 mm, busy) synthetic recording."""
+    return build_recording(ENG_LIKE_SPEC, duration_override_s=ENG_BENCH_DURATION_S)
+
+
+@pytest.fixture(scope="session")
+def lt4_recording():
+    """LT4-like (6 mm, quiet) synthetic recording."""
+    return build_recording(LT4_LIKE_SPEC, duration_override_s=LT4_BENCH_DURATION_S)
+
+
+@pytest.fixture(scope="session")
+def both_recordings(eng_recording, lt4_recording):
+    """Both Table I recordings, ENG first."""
+    return [eng_recording, lt4_recording]

@@ -1,0 +1,101 @@
+"""Occlusion handling demo: two vehicles crossing paths.
+
+Builds a hand-crafted scene in which two vehicles in adjacent lanes drive
+towards each other and dynamically occlude, then runs the overlap tracker
+with and without its prediction-based occlusion handling (occlusion
+look-ahead n = 2 vs n = 0) and reports how many distinct tracks each
+configuration needed and whether the two vehicles kept separate identities
+through the crossing — the behaviour Section II-C's step 5 is designed for.
+
+Run with::
+
+    python examples/occlusion_handling.py
+"""
+
+from __future__ import annotations
+
+from repro.core import EbbiotConfig, EbbiotPipeline
+from repro.evaluation import compute_mot_summary, evaluate_recording
+from repro.events.noise import BackgroundActivityNoise
+from repro.sensor.davis import SensorGeometry
+from repro.simulation.objects import OBJECT_TEMPLATES, ObjectClass, SceneObject
+from repro.simulation.scene import Scene, SceneConfig
+from repro.simulation.trajectories import crossing_trajectory
+
+
+def build_crossing_scene() -> Scene:
+    """Two vehicles in nearby lanes moving in opposite directions."""
+    geometry = SensorGeometry()
+    config = SceneConfig(
+        geometry=geometry,
+        noise=BackgroundActivityNoise(rate_hz_per_pixel=0.3),
+        seed=17,
+    )
+    scene = Scene(config)
+    car = OBJECT_TEMPLATES[ObjectClass.CAR]
+    van = OBJECT_TEMPLATES[ObjectClass.VAN]
+    # Lanes only 12 px apart vertically: the boxes overlap while crossing.
+    scene.add_object(
+        SceneObject(0, car, crossing_trajectory(geometry.width, 62, 65.0, 0, car.width_px, 1))
+    )
+    scene.add_object(
+        SceneObject(1, van, crossing_trajectory(geometry.width, 74, 55.0, 0, van.width_px, -1))
+    )
+    return scene
+
+
+def run_variant(stream, ground_truth, lookahead_frames: int):
+    """Run the pipeline with a given occlusion look-ahead and summarise."""
+    config = EbbiotConfig(occlusion_lookahead_frames=lookahead_frames)
+    pipeline = EbbiotPipeline(config)
+    result = pipeline.process_stream(stream)
+    evaluation = evaluate_recording(
+        result.track_history.observations, ground_truth, iou_thresholds=(0.3,)
+    )
+    mot = compute_mot_summary(result.track_history.observations, ground_truth)
+    return {
+        "lookahead": lookahead_frames,
+        "distinct_tracks": len(result.track_history.track_ids()),
+        "occlusions_detected": pipeline.tracker.occlusions_detected,
+        "merges": pipeline.tracker.merges_performed,
+        "precision@0.3": evaluation.by_threshold[0.3].precision,
+        "recall@0.3": evaluation.by_threshold[0.3].recall,
+        "id_switches": mot.num_id_switches,
+        "mota": mot.mota,
+    }
+
+
+def main() -> None:
+    print("Rendering the crossing-vehicles scene (5 s) ...")
+    scene = build_crossing_scene()
+    rendered = scene.render(duration_us=5_000_000)
+    print(
+        f"  {rendered.num_events} events, "
+        f"{rendered.num_ground_truth_tracks()} ground-truth tracks"
+    )
+
+    print("\nOverlap tracker with and without occlusion look-ahead:")
+    header = (
+        f"{'n':>3} {'tracks':>7} {'occl.':>6} {'merges':>7} "
+        f"{'prec@0.3':>9} {'rec@0.3':>8} {'IDsw':>5} {'MOTA':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for lookahead in (2, 0):
+        row = run_variant(rendered.stream, rendered.ground_truth, lookahead)
+        print(
+            f"{row['lookahead']:>3} {row['distinct_tracks']:>7} "
+            f"{row['occlusions_detected']:>6} {row['merges']:>7} "
+            f"{row['precision@0.3']:>9.3f} {row['recall@0.3']:>8.3f} "
+            f"{row['id_switches']:>5} {row['mota']:>6.3f}"
+        )
+
+    print(
+        "\nWith look-ahead (n = 2) the two vehicles coast on their predictions "
+        "through the crossing and keep separate identities; with n = 0 the "
+        "shared proposal is treated as fragmentation and the tracks merge."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works in offline
+environments that lack the ``wheel`` package needed for PEP 660 editable
+installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""EBBIOT reproduction: low-complexity event-based tracking for IoVT surveillance.
+
+This library reproduces "EBBIOT: A Low-complexity Tracking Algorithm for
+Surveillance in IoVT using Stationary Neuromorphic Vision Sensors"
+(Acharya et al., SOCC 2019):
+
+* :mod:`repro.core` — the EBBIOT pipeline (EBBI, histogram RPN, overlap tracker).
+* :mod:`repro.events`, :mod:`repro.sensor` — the event-camera substrate.
+* :mod:`repro.simulation`, :mod:`repro.datasets` — the synthetic traffic
+  recordings that stand in for the paper's DAVIS data.
+* :mod:`repro.trackers` — the EBMS and Kalman-filter baselines.
+* :mod:`repro.evaluation` — IoU-based precision/recall evaluation.
+* :mod:`repro.resources` — the analytic compute/memory models of Eq. (1)-(8).
+
+Quickstart::
+
+    from repro import EbbiotPipeline, EbbiotConfig
+    from repro.datasets import build_recording, LT4_LIKE_SPEC
+    from repro.evaluation import evaluate_recording
+
+    recording = build_recording(LT4_LIKE_SPEC, duration_override_s=10.0)
+    pipeline = EbbiotPipeline(EbbiotConfig())
+    result = pipeline.process_stream(recording.stream)
+    evaluation = evaluate_recording(
+        result.track_history.observations, recording.annotations.frames
+    )
+"""
+
+from repro.core import EbbiotConfig, EbbiotPipeline
+from repro.events import EventStream
+from repro.trackers import EbmsTracker, KalmanFilterTracker
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EbbiotConfig",
+    "EbbiotPipeline",
+    "EventStream",
+    "EbmsTracker",
+    "KalmanFilterTracker",
+    "__version__",
+]

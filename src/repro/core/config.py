@@ -1,0 +1,127 @@
+"""Top-level EBBIOT pipeline configuration.
+
+All paper parameters live here with their published default values:
+``A x B = 240 x 180``, ``tF = 66 ms``, median patch ``p = 3``, downsampling
+factors ``(s1, s2) = (6, 3)``, histogram threshold 1, and up to ``NT = 8``
+simultaneous trackers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.utils.geometry import BoundingBox
+from repro.utils.validation import ensure_positive, ensure_positive_int
+
+
+@dataclass
+class EbbiotConfig:
+    """Configuration of the full EBBIOT pipeline.
+
+    Parameters
+    ----------
+    width, height:
+        Sensor resolution ``A x B`` (DAVIS240: 240 x 180).
+    frame_duration_us:
+        EBBI accumulation window ``tF`` in microseconds (66 ms).
+    median_patch_size:
+        Median-filter patch size ``p`` (odd, default 3).
+    downsample_x, downsample_y:
+        Histogram downsampling factors ``s1`` (x) and ``s2`` (y).
+    histogram_threshold:
+        Minimum downsampled histogram value for a bin to belong to a region
+        (the paper uses 1).
+    max_trackers:
+        Maximum number of simultaneous trackers ``NT`` (8).
+    overlap_threshold:
+        Fraction of tracker or proposal area that must overlap for a match.
+    prediction_weight:
+        Weight of the prediction when blending prediction and proposal into
+        the corrected tracker state.
+    occlusion_lookahead_frames:
+        Number of future frames ``n`` over which predicted trajectories are
+        checked for overlap when deciding dynamic occlusion (2).
+    min_track_age_frames:
+        A tracker must survive this many frames before its box is reported;
+        suppresses single-frame noise tracks.
+    max_missed_frames:
+        Frames a tracker may go unmatched before it is freed.
+    min_proposal_area:
+        Region proposals smaller than this (in px^2) are discarded.
+    roe_boxes:
+        Regions of exclusion (static distractors and occluders).
+    min_region_side_px:
+        Minimum side length (in full-resolution pixels) of a proposed region.
+    """
+
+    width: int = 240
+    height: int = 180
+    frame_duration_us: int = 66_000
+    median_patch_size: int = 3
+    downsample_x: int = 6
+    downsample_y: int = 3
+    histogram_threshold: int = 1
+    max_trackers: int = 8
+    overlap_threshold: float = 0.25
+    prediction_weight: float = 0.5
+    occlusion_lookahead_frames: int = 2
+    min_track_age_frames: int = 2
+    max_missed_frames: int = 3
+    min_proposal_area: float = 16.0
+    roe_boxes: List[BoundingBox] = field(default_factory=list)
+    min_region_side_px: float = 2.0
+
+    def __post_init__(self) -> None:
+        ensure_positive_int("width", self.width)
+        ensure_positive_int("height", self.height)
+        ensure_positive_int("frame_duration_us", self.frame_duration_us)
+        ensure_positive_int("median_patch_size", self.median_patch_size)
+        if self.median_patch_size % 2 == 0:
+            raise ValueError(
+                f"median_patch_size must be odd, got {self.median_patch_size}"
+            )
+        ensure_positive_int("downsample_x", self.downsample_x)
+        ensure_positive_int("downsample_y", self.downsample_y)
+        if self.downsample_x > self.width or self.downsample_y > self.height:
+            raise ValueError("downsampling factors cannot exceed the frame size")
+        ensure_positive_int("max_trackers", self.max_trackers)
+        ensure_positive("overlap_threshold", self.overlap_threshold)
+        if not 0.0 < self.overlap_threshold <= 1.0:
+            raise ValueError(
+                f"overlap_threshold must be in (0, 1], got {self.overlap_threshold}"
+            )
+        if not 0.0 <= self.prediction_weight <= 1.0:
+            raise ValueError(
+                f"prediction_weight must be in [0, 1], got {self.prediction_weight}"
+            )
+        if self.occlusion_lookahead_frames < 0:
+            raise ValueError("occlusion_lookahead_frames must be non-negative")
+        if self.min_track_age_frames < 0:
+            raise ValueError("min_track_age_frames must be non-negative")
+        if self.max_missed_frames < 0:
+            raise ValueError("max_missed_frames must be non-negative")
+        if self.histogram_threshold < 1:
+            raise ValueError(
+                f"histogram_threshold must be >= 1, got {self.histogram_threshold}"
+            )
+
+    @property
+    def frame_rate_hz(self) -> float:
+        """Frame rate implied by ``frame_duration_us`` (~15 Hz for 66 ms)."""
+        return 1e6 / self.frame_duration_us
+
+    @property
+    def downsampled_width(self) -> int:
+        """Width of the downsampled image, ``floor(A / s1)``."""
+        return self.width // self.downsample_x
+
+    @property
+    def downsampled_height(self) -> int:
+        """Height of the downsampled image, ``floor(B / s2)``."""
+        return self.height // self.downsample_y
+
+    @classmethod
+    def paper_defaults(cls) -> "EbbiotConfig":
+        """The exact configuration used in the paper's evaluation."""
+        return cls()

@@ -1,0 +1,138 @@
+"""Event-based binary image (EBBI) generation.
+
+The EBBI is simply the per-pixel OR of all events accumulated during one
+``tF`` window, ignoring polarity (Section II-A).  In hardware the sensor
+array itself stores this image while the processor sleeps; in software we
+reproduce the same frame from an event packet with
+:func:`events_to_binary_frame` and keep both the raw and median-filtered
+frames, exactly the two-frame memory budget of Eq. (1)
+(``M_EBBI = 2 * A * B`` bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.median_filter import binary_median_filter
+from repro.events.types import EVENT_DTYPE
+
+
+def events_to_binary_frame(
+    events: np.ndarray, width: int, height: int
+) -> np.ndarray:
+    """Accumulate an event packet into a binary frame.
+
+    Parameters
+    ----------
+    events:
+        Structured event array; polarity is ignored.
+    width, height:
+        Sensor resolution ``A x B``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(height, width)`` uint8 array with 1 where at least one event
+        occurred.
+    """
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"events must have dtype {EVENT_DTYPE}, got {events.dtype}")
+    frame = np.zeros((height, width), dtype=np.uint8)
+    if len(events) == 0:
+        return frame
+    x = events["x"]
+    y = events["y"]
+    if x.min() < 0 or x.max() >= width or y.min() < 0 or y.max() >= height:
+        raise ValueError("event coordinates fall outside the frame")
+    frame[y, x] = 1
+    return frame
+
+
+@dataclass
+class EbbiFrames:
+    """The raw and filtered binary frames for one ``tF`` window."""
+
+    raw: np.ndarray
+    filtered: np.ndarray
+    t_start_us: int
+    t_end_us: int
+    num_events: int
+
+    @property
+    def t_mid_us(self) -> int:
+        """Midpoint of the accumulation window."""
+        return (self.t_start_us + self.t_end_us) // 2
+
+    @property
+    def active_pixel_count(self) -> int:
+        """Number of active pixels in the raw frame."""
+        return int(self.raw.sum())
+
+    @property
+    def active_pixel_fraction(self) -> float:
+        """Fraction of active pixels in the raw frame (the paper's ``alpha``)."""
+        return self.active_pixel_count / self.raw.size
+
+
+class EbbiBuilder:
+    """Builds raw + median-filtered EBBI frames from event packets.
+
+    Parameters
+    ----------
+    width, height:
+        Sensor resolution.
+    median_patch_size:
+        Median-filter patch size ``p`` (the paper uses 3); ``0`` or ``1``
+        disables filtering (the filtered frame is then the raw frame).
+    """
+
+    def __init__(self, width: int, height: int, median_patch_size: int = 3) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"frame size must be positive, got {width}x{height}")
+        if median_patch_size not in (0, 1) and median_patch_size % 2 == 0:
+            raise ValueError(
+                f"median_patch_size must be odd (or 0/1 to disable), got {median_patch_size}"
+            )
+        self.width = width
+        self.height = height
+        self.median_patch_size = median_patch_size
+        self._frames_built = 0
+        self._total_active_fraction = 0.0
+
+    def build(
+        self, events: np.ndarray, t_start_us: int, t_end_us: int
+    ) -> EbbiFrames:
+        """Accumulate one window of events into raw and filtered EBBI frames."""
+        raw = events_to_binary_frame(events, self.width, self.height)
+        if self.median_patch_size in (0, 1):
+            filtered = raw.copy()
+        else:
+            filtered = binary_median_filter(raw, self.median_patch_size)
+        self._frames_built += 1
+        self._total_active_fraction += raw.sum() / raw.size
+        return EbbiFrames(
+            raw=raw,
+            filtered=filtered,
+            t_start_us=t_start_us,
+            t_end_us=t_end_us,
+            num_events=len(events),
+        )
+
+    @property
+    def frames_built(self) -> int:
+        """Number of frames built so far."""
+        return self._frames_built
+
+    @property
+    def mean_active_pixel_fraction(self) -> float:
+        """Mean active-pixel fraction ``alpha`` observed over all frames."""
+        if self._frames_built == 0:
+            return 0.0
+        return self._total_active_fraction / self._frames_built
+
+    def memory_bits(self) -> int:
+        """Memory required by the EBBI stage: two binary frames (Eq. (1))."""
+        return 2 * self.width * self.height

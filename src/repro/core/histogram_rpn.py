@@ -1,0 +1,223 @@
+"""Event-density histogram region proposal (Section II-B).
+
+The filtered EBBI is block-downsampled by factors ``(s1, s2)`` (Eq. (3)),
+its column and row sums form the X and Y histograms (Eq. (4)), and runs of
+contiguous above-threshold bins in each histogram define candidate X and Y
+intervals.  The Cartesian product of the X and Y intervals gives candidate
+2-D regions; each candidate is validated against the binary frame so that
+spurious combinations (when several objects are present in both axes) are
+discarded — the "check in the original image" the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.geometry import BoundingBox
+
+
+@dataclass(frozen=True)
+class RegionProposal:
+    """One proposed object region.
+
+    Attributes
+    ----------
+    box:
+        Proposed bounding box in full-resolution pixel coordinates.
+    event_count:
+        Number of active pixels of the (filtered) EBBI inside the box.
+    density:
+        Active pixels divided by box area.
+    """
+
+    box: BoundingBox
+    event_count: int
+    density: float
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "x": self.box.x,
+            "y": self.box.y,
+            "width": self.box.width,
+            "height": self.box.height,
+            "event_count": self.event_count,
+            "density": self.density,
+        }
+
+
+def downsample_binary_frame(frame: np.ndarray, s1: int, s2: int) -> np.ndarray:
+    """Block-sum downsampling of a binary frame (Eq. (3)).
+
+    The output pixel ``(i, j)`` is the number of active pixels in the
+    ``s1 x s2`` block of the input anchored at ``(i * s1, j * s2)``.  Only
+    complete blocks are kept (``i < floor(A / s1)``, ``j < floor(B / s2)``),
+    matching the floor in Eq. (3).
+
+    Parameters
+    ----------
+    frame:
+        ``(height, width)`` binary array (indexed ``[y, x]``).
+    s1:
+        Downsampling factor along x (width).
+    s2:
+        Downsampling factor along y (height).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(height // s2, width // s1)`` int32 array of block sums.
+    """
+    if frame.ndim != 2:
+        raise ValueError(f"frame must be 2-D, got shape {frame.shape}")
+    if s1 < 1 or s2 < 1:
+        raise ValueError(f"downsampling factors must be >= 1, got s1={s1} s2={s2}")
+    height, width = frame.shape
+    out_width = width // s1
+    out_height = height // s2
+    if out_width == 0 or out_height == 0:
+        raise ValueError(
+            f"downsampling factors ({s1}, {s2}) too large for frame {width}x{height}"
+        )
+    cropped = frame[: out_height * s2, : out_width * s1].astype(np.int32)
+    return cropped.reshape(out_height, s2, out_width, s1).sum(axis=(1, 3))
+
+
+def compute_histograms(downsampled: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """X and Y histograms of the downsampled image (Eq. (4)).
+
+    Returns
+    -------
+    (histogram_x, histogram_y)
+        ``histogram_x[i]`` sums column ``i`` over all rows; ``histogram_y[j]``
+        sums row ``j`` over all columns.
+    """
+    histogram_x = downsampled.sum(axis=0)
+    histogram_y = downsampled.sum(axis=1)
+    return histogram_x, histogram_y
+
+
+def find_runs_above_threshold(
+    histogram: np.ndarray, threshold: int
+) -> List[Tuple[int, int]]:
+    """Find maximal runs of contiguous bins with value >= threshold.
+
+    Returns
+    -------
+    list of (start, end)
+        Half-open bin index intervals ``[start, end)``.
+    """
+    if histogram.ndim != 1:
+        raise ValueError("histogram must be 1-D")
+    above = histogram >= threshold
+    if not above.any():
+        return []
+    padded = np.concatenate([[False], above, [False]])
+    changes = np.flatnonzero(padded[1:] != padded[:-1])
+    starts = changes[0::2]
+    ends = changes[1::2]
+    return list(zip(starts.tolist(), ends.tolist()))
+
+
+class HistogramRegionProposer:
+    """Histogram-based region proposal network.
+
+    Parameters
+    ----------
+    downsample_x, downsample_y:
+        Block-downsampling factors ``s1`` and ``s2``.
+    threshold:
+        Minimum downsampled histogram value for a bin to belong to a region
+        (the paper uses 1 — "acceptable since we need a coarse location").
+    min_region_side_px:
+        Candidate regions narrower than this in either direction (in
+        full-resolution pixels) are discarded.
+    min_event_count:
+        Minimum number of active pixels inside the candidate box for it to
+        be emitted; this is the validity check in the original image that
+        suppresses false X/Y combinations.
+    """
+
+    def __init__(
+        self,
+        downsample_x: int = 6,
+        downsample_y: int = 3,
+        threshold: int = 1,
+        min_region_side_px: float = 2.0,
+        min_event_count: int = 3,
+    ) -> None:
+        if downsample_x < 1 or downsample_y < 1:
+            raise ValueError("downsampling factors must be >= 1")
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if min_event_count < 1:
+            raise ValueError(f"min_event_count must be >= 1, got {min_event_count}")
+        self.downsample_x = downsample_x
+        self.downsample_y = downsample_y
+        self.threshold = threshold
+        self.min_region_side_px = min_region_side_px
+        self.min_event_count = min_event_count
+
+    def propose(self, frame: np.ndarray) -> List[RegionProposal]:
+        """Propose regions for one (filtered) binary frame.
+
+        Parameters
+        ----------
+        frame:
+            ``(height, width)`` binary EBBI, already noise filtered.
+
+        Returns
+        -------
+        list of RegionProposal
+            Proposals in full-resolution coordinates, ordered by descending
+            event count.
+        """
+        downsampled = downsample_binary_frame(frame, self.downsample_x, self.downsample_y)
+        histogram_x, histogram_y = compute_histograms(downsampled)
+        x_runs = find_runs_above_threshold(histogram_x, self.threshold)
+        y_runs = find_runs_above_threshold(histogram_y, self.threshold)
+        if not x_runs or not y_runs:
+            return []
+
+        proposals: List[RegionProposal] = []
+        height, width = frame.shape
+        for x_start_bin, x_end_bin in x_runs:
+            for y_start_bin, y_end_bin in y_runs:
+                x1 = x_start_bin * self.downsample_x
+                x2 = min(x_end_bin * self.downsample_x, width)
+                y1 = y_start_bin * self.downsample_y
+                y2 = min(y_end_bin * self.downsample_y, height)
+                box_width = x2 - x1
+                box_height = y2 - y1
+                if box_width < self.min_region_side_px or box_height < self.min_region_side_px:
+                    continue
+                patch = frame[y1:y2, x1:x2]
+                event_count = int(np.count_nonzero(patch))
+                # Validity check in the original image: combinations of X and
+                # Y runs that do not actually contain events are spurious.
+                if event_count < self.min_event_count:
+                    continue
+                box = BoundingBox(float(x1), float(y1), float(box_width), float(box_height))
+                proposals.append(
+                    RegionProposal(
+                        box=box,
+                        event_count=event_count,
+                        density=event_count / box.area if box.area > 0 else 0.0,
+                    )
+                )
+        proposals.sort(key=lambda proposal: proposal.event_count, reverse=True)
+        return proposals
+
+    def debug_histograms(
+        self, frame: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(downsampled, histogram_x, histogram_y)`` for inspection.
+
+        Used by the Fig. 3 reproduction benchmark and the examples.
+        """
+        downsampled = downsample_binary_frame(frame, self.downsample_x, self.downsample_y)
+        histogram_x, histogram_y = compute_histograms(downsampled)
+        return downsampled, histogram_x, histogram_y

@@ -1,0 +1,104 @@
+"""Regions of exclusion (ROE).
+
+The overlap tracker assumes that distractors such as trees, and static
+occluders such as lamp posts, are covered by manually specified regions of
+exclusion (Section II-C).  Region proposals that fall mostly inside an ROE
+are discarded before tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.histogram_rpn import RegionProposal
+from repro.utils.geometry import BoundingBox
+
+
+@dataclass
+class RegionOfExclusion:
+    """A set of boxes inside which region proposals are suppressed.
+
+    Parameters
+    ----------
+    boxes:
+        Excluded regions in full-resolution pixel coordinates.
+    max_overlap_fraction:
+        A proposal is dropped when more than this fraction of its area lies
+        inside the union of the excluded boxes.
+    """
+
+    boxes: List[BoundingBox] = field(default_factory=list)
+    max_overlap_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_overlap_fraction <= 1.0:
+            raise ValueError(
+                f"max_overlap_fraction must be in [0, 1], got {self.max_overlap_fraction}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    def add(self, box: BoundingBox) -> None:
+        """Add an excluded region."""
+        self.boxes.append(box)
+
+    def excluded_fraction(self, box: BoundingBox) -> float:
+        """Fraction of ``box`` covered by the excluded regions.
+
+        Overlaps between ROE boxes are not double counted beyond the box
+        area; the estimate is conservative (sum of pairwise intersections,
+        capped at 1), which is accurate for the disjoint ROE boxes used in
+        practice.
+        """
+        if box.area == 0 or not self.boxes:
+            return 0.0
+        covered = sum(box.intersection_area(roe_box) for roe_box in self.boxes)
+        return min(1.0, covered / box.area)
+
+    def is_excluded(self, box: BoundingBox) -> bool:
+        """``True`` when the box is mostly inside the excluded regions."""
+        return self.excluded_fraction(box) > self.max_overlap_fraction
+
+    def filter_proposals(
+        self, proposals: Sequence[RegionProposal]
+    ) -> List[RegionProposal]:
+        """Drop proposals that fall inside the excluded regions."""
+        return [p for p in proposals if not self.is_excluded(p.box)]
+
+    def mask(self, width: int, height: int) -> np.ndarray:
+        """Binary mask of the excluded area (1 = excluded).
+
+        Useful for masking the EBBI before region proposal, which is how a
+        memory-constrained implementation would apply the ROE.
+        """
+        mask = np.zeros((height, width), dtype=np.uint8)
+        for box in self.boxes:
+            x1 = max(0, int(np.floor(box.x)))
+            y1 = max(0, int(np.floor(box.y)))
+            x2 = min(width, int(np.ceil(box.x2)))
+            y2 = min(height, int(np.ceil(box.y2)))
+            if x2 > x1 and y2 > y1:
+                mask[y1:y2, x1:x2] = 1
+        return mask
+
+    def apply_to_frame(self, frame: np.ndarray) -> np.ndarray:
+        """Return a copy of ``frame`` with excluded pixels zeroed."""
+        height, width = frame.shape
+        mask = self.mask(width, height)
+        result = frame.copy()
+        result[mask == 1] = 0
+        return result
+
+    @classmethod
+    def from_tuples(
+        cls, boxes: Iterable[Sequence[float]], max_overlap_fraction: float = 0.5
+    ) -> "RegionOfExclusion":
+        """Build an ROE from ``(x, y, width, height)`` tuples."""
+        return cls(
+            boxes=[BoundingBox(*box) for box in boxes],
+            max_overlap_fraction=max_overlap_fraction,
+        )

@@ -1,0 +1,30 @@
+"""Synthetic datasets reproducing the structure of Table I.
+
+The paper's two recordings (ENG, 12 mm lens, ~3000 s, 107.5 M events and
+LT4, 6 mm lens, ~1000 s, 12.5 M events) are replaced by synthetic
+recordings with the same structure: two sites with different lens settings,
+different traffic densities and different durations.  Full-length versions
+would take a long time to simulate in pure Python, so the builders generate
+a *scaled* recording (default 60 s / 30 s) and report both the simulated
+statistics and the values extrapolated to the paper's durations.
+"""
+
+from repro.datasets.annotations import RecordingAnnotations
+from repro.datasets.synthetic import (
+    DatasetSpec,
+    ENG_LIKE_SPEC,
+    LT4_LIKE_SPEC,
+    SyntheticRecording,
+    build_recording,
+    build_table1_datasets,
+)
+
+__all__ = [
+    "RecordingAnnotations",
+    "DatasetSpec",
+    "ENG_LIKE_SPEC",
+    "LT4_LIKE_SPEC",
+    "SyntheticRecording",
+    "build_recording",
+    "build_table1_datasets",
+]

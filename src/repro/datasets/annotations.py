@@ -1,0 +1,65 @@
+"""Annotation containers with (de)serialisation for synthetic recordings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.simulation.ground_truth import (
+    GroundTruthFrame,
+    ground_truth_frames_from_dict,
+    ground_truth_frames_to_dict,
+)
+
+
+@dataclass
+class RecordingAnnotations:
+    """Ground-truth annotations for one recording.
+
+    Attributes
+    ----------
+    frames:
+        Ground-truth boxes sampled at regular instants.
+    annotation_interval_us:
+        Spacing of the annotation instants.
+    """
+
+    frames: List[GroundTruthFrame] = field(default_factory=list)
+    annotation_interval_us: int = 66_000
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def num_tracks(self) -> int:
+        """Number of distinct ground-truth tracks (the evaluation weight)."""
+        track_ids = set()
+        for frame in self.frames:
+            track_ids.update(frame.track_ids())
+        return len(track_ids)
+
+    def num_boxes(self) -> int:
+        """Total annotated boxes across all instants."""
+        return sum(len(frame) for frame in self.frames)
+
+    def boxes_per_class(self) -> Dict[str, int]:
+        """Annotated box count per object class."""
+        counts: Dict[str, int] = {}
+        for frame in self.frames:
+            for box in frame.boxes:
+                counts[box.object_class] = counts.get(box.object_class, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "annotation_interval_us": self.annotation_interval_us,
+            "frames": ground_truth_frames_to_dict(self.frames),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RecordingAnnotations":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            frames=ground_truth_frames_from_dict(data.get("frames", [])),
+            annotation_interval_us=int(data.get("annotation_interval_us", 66_000)),
+        )

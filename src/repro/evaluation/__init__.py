@@ -1,0 +1,39 @@
+"""Tracker evaluation: IoU matching, precision/recall and reporting.
+
+The paper's evaluation protocol (Section III-B):
+
+1. at a fixed set of instants, collect the ground-truth boxes and the
+   tracker boxes;
+2. a tracker box is a true positive when its IoU with a ground-truth box
+   exceeds a threshold (one-to-one matching);
+3. precision = true positives / total tracker boxes and
+   recall = true positives / total ground-truth boxes, computed over all
+   instants of the recording;
+4. results from several recordings are combined as a weighted average with
+   weights equal to each recording's number of ground-truth tracks.
+"""
+
+from repro.evaluation.matching import FrameMatchResult, match_frame
+from repro.evaluation.mot_metrics import MotSummary, compute_mot_summary
+from repro.evaluation.precision_recall import (
+    PrecisionRecall,
+    RecordingEvaluation,
+    evaluate_recording,
+    sweep_iou_thresholds,
+    weighted_average,
+)
+from repro.evaluation.report import format_comparison_table, format_precision_recall_table
+
+__all__ = [
+    "match_frame",
+    "FrameMatchResult",
+    "PrecisionRecall",
+    "RecordingEvaluation",
+    "evaluate_recording",
+    "sweep_iou_thresholds",
+    "weighted_average",
+    "MotSummary",
+    "compute_mot_summary",
+    "format_precision_recall_table",
+    "format_comparison_table",
+]

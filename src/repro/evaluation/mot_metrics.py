@@ -1,0 +1,127 @@
+"""CLEAR-MOT style summary metrics.
+
+The paper reports only IoU-thresholded precision and recall, but a
+downstream user of a tracking library usually also wants MOTA/MOTP-style
+numbers and identity-switch counts.  :func:`compute_mot_summary` provides
+those as an extension, using the same per-frame IoU matching as the
+precision/recall evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.matching import match_frame
+from repro.evaluation.precision_recall import _align_tracks_to_ground_truth
+from repro.simulation.ground_truth import GroundTruthFrame
+from repro.trackers.base import TrackObservation
+from repro.utils.geometry import BoundingBox
+
+
+@dataclass(frozen=True)
+class MotSummary:
+    """Aggregate multi-object-tracking metrics for one recording."""
+
+    mota: float
+    motp: float
+    num_misses: int
+    num_false_positives: int
+    num_id_switches: int
+    num_ground_truth_boxes: int
+    num_matches: int
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "mota": self.mota,
+            "motp": self.motp,
+            "misses": self.num_misses,
+            "false_positives": self.num_false_positives,
+            "id_switches": self.num_id_switches,
+            "ground_truth_boxes": self.num_ground_truth_boxes,
+            "matches": self.num_matches,
+        }
+
+
+def compute_mot_summary(
+    observations: Sequence[TrackObservation],
+    ground_truth_frames: Sequence[GroundTruthFrame],
+    iou_threshold: float = 0.3,
+    alignment_tolerance_us: int = 40_000,
+) -> MotSummary:
+    """Compute MOTA / MOTP and identity switches for one recording.
+
+    MOTA = 1 - (misses + false positives + id switches) / GT boxes.
+    MOTP is the mean IoU of the matched pairs (higher is better), a common
+    IoU-flavoured variant of the original distance-based definition.
+    """
+    observations_by_time: Dict[int, List[TrackObservation]] = {}
+    for observation in observations:
+        observations_by_time.setdefault(observation.t_us, []).append(observation)
+
+    boxes_by_time: Dict[int, List[BoundingBox]] = {
+        t: [o.box for o in obs] for t, obs in observations_by_time.items()
+    }
+    aligned = _align_tracks_to_ground_truth(
+        boxes_by_time, ground_truth_frames, alignment_tolerance_us
+    )
+
+    total_misses = 0
+    total_false_positives = 0
+    total_id_switches = 0
+    total_ground_truth = 0
+    total_matches = 0
+    iou_sum = 0.0
+    # Ground-truth track id -> tracker track id from the previous frame.
+    previous_assignment: Dict[int, int] = {}
+
+    for (gt_frame, tracker_boxes), _ in zip(aligned, range(len(aligned))):
+        time_key = None
+        # Recover the observation list whose boxes were used, to get track ids.
+        for t, boxes in boxes_by_time.items():
+            if boxes is tracker_boxes or (
+                len(boxes) == len(tracker_boxes)
+                and all(a is b for a, b in zip(boxes, tracker_boxes))
+            ):
+                time_key = t
+                break
+        frame_observations = observations_by_time.get(time_key, []) if time_key is not None else []
+
+        gt_boxes = [b.box for b in gt_frame.boxes]
+        match = match_frame(tracker_boxes, gt_boxes, iou_threshold=iou_threshold)
+        total_ground_truth += match.num_ground_truth_boxes
+        total_misses += match.num_false_negatives
+        total_false_positives += match.num_false_positives
+        total_matches += match.num_true_positives
+
+        for tracker_index, gt_index, iou in match.true_positives:
+            iou_sum += iou
+            gt_track_id = gt_frame.boxes[gt_index].track_id
+            tracker_track_id = (
+                frame_observations[tracker_index].track_id
+                if tracker_index < len(frame_observations)
+                else tracker_index
+            )
+            if (
+                gt_track_id in previous_assignment
+                and previous_assignment[gt_track_id] != tracker_track_id
+            ):
+                total_id_switches += 1
+            previous_assignment[gt_track_id] = tracker_track_id
+
+    mota = (
+        1.0 - (total_misses + total_false_positives + total_id_switches) / total_ground_truth
+        if total_ground_truth
+        else 0.0
+    )
+    motp = iou_sum / total_matches if total_matches else 0.0
+    return MotSummary(
+        mota=mota,
+        motp=motp,
+        num_misses=total_misses,
+        num_false_positives=total_false_positives,
+        num_id_switches=total_id_switches,
+        num_ground_truth_boxes=total_ground_truth,
+        num_matches=total_matches,
+    )

@@ -1,0 +1,190 @@
+"""Precision / recall evaluation over recordings and IoU thresholds.
+
+Implements the metric of Section III-B / III-C: IoU-thresholded true
+positives accumulated over every evaluation instant of the recording,
+precision and recall computed from the totals, swept over IoU thresholds
+(Fig. 4) and combined across recordings as a weighted average with weights
+equal to each recording's ground-truth track count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.evaluation.matching import match_frame
+from repro.simulation.ground_truth import GroundTruthFrame
+from repro.trackers.base import TrackObservation
+from repro.utils.geometry import BoundingBox
+
+#: IoU thresholds swept in the Fig. 4 reproduction.
+DEFAULT_IOU_THRESHOLDS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7)
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Precision and recall with their supporting counts."""
+
+    precision: float
+    recall: float
+    true_positives: int
+    total_tracker_boxes: int
+    total_ground_truth_boxes: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+@dataclass
+class RecordingEvaluation:
+    """Evaluation of one tracker on one recording across IoU thresholds."""
+
+    name: str
+    num_ground_truth_tracks: int
+    by_threshold: Dict[float, PrecisionRecall] = field(default_factory=dict)
+
+    def precision_series(self) -> List[float]:
+        """Precisions ordered by ascending IoU threshold."""
+        return [self.by_threshold[t].precision for t in sorted(self.by_threshold)]
+
+    def recall_series(self) -> List[float]:
+        """Recalls ordered by ascending IoU threshold."""
+        return [self.by_threshold[t].recall for t in sorted(self.by_threshold)]
+
+    def thresholds(self) -> List[float]:
+        """Sorted IoU thresholds."""
+        return sorted(self.by_threshold)
+
+
+def _align_tracks_to_ground_truth(
+    track_boxes_by_time: Mapping[int, Sequence[BoundingBox]],
+    ground_truth_frames: Sequence[GroundTruthFrame],
+    tolerance_us: int,
+) -> List[tuple]:
+    """Pair each GT instant with the nearest tracker report within tolerance."""
+    aligned = []
+    track_times = sorted(track_boxes_by_time)
+    for gt_frame in ground_truth_frames:
+        best_time: Optional[int] = None
+        best_delta = tolerance_us + 1
+        for t in track_times:
+            delta = abs(t - gt_frame.t_us)
+            if delta < best_delta:
+                best_time, best_delta = t, delta
+        boxes = list(track_boxes_by_time[best_time]) if best_time is not None else []
+        aligned.append((gt_frame, boxes))
+    return aligned
+
+
+def evaluate_recording(
+    observations: Sequence[TrackObservation],
+    ground_truth_frames: Sequence[GroundTruthFrame],
+    iou_thresholds: Sequence[float] = DEFAULT_IOU_THRESHOLDS,
+    name: str = "recording",
+    alignment_tolerance_us: int = 40_000,
+) -> RecordingEvaluation:
+    """Evaluate tracker output against ground truth for one recording.
+
+    Parameters
+    ----------
+    observations:
+        All tracker observations over the recording (any tracker).
+    ground_truth_frames:
+        Ground-truth annotations sampled at regular instants.
+    iou_thresholds:
+        IoU thresholds to sweep.
+    name:
+        Recording name used in reports.
+    alignment_tolerance_us:
+        Maximum time difference between a GT instant and the tracker report
+        associated with it (defaults to just over half a 66 ms frame).
+    """
+    track_boxes_by_time: Dict[int, List[BoundingBox]] = {}
+    for observation in observations:
+        track_boxes_by_time.setdefault(observation.t_us, []).append(observation.box)
+
+    aligned = _align_tracks_to_ground_truth(
+        track_boxes_by_time, ground_truth_frames, alignment_tolerance_us
+    )
+
+    track_ids = set()
+    for frame in ground_truth_frames:
+        track_ids.update(frame.track_ids())
+
+    evaluation = RecordingEvaluation(
+        name=name, num_ground_truth_tracks=len(track_ids)
+    )
+    for threshold in iou_thresholds:
+        true_positives = 0
+        total_tracker_boxes = 0
+        total_ground_truth_boxes = 0
+        for gt_frame, tracker_boxes in aligned:
+            gt_boxes = [b.box for b in gt_frame.boxes]
+            match = match_frame(tracker_boxes, gt_boxes, iou_threshold=threshold)
+            true_positives += match.num_true_positives
+            total_tracker_boxes += match.num_tracker_boxes
+            total_ground_truth_boxes += match.num_ground_truth_boxes
+        precision = true_positives / total_tracker_boxes if total_tracker_boxes else 0.0
+        recall = (
+            true_positives / total_ground_truth_boxes if total_ground_truth_boxes else 0.0
+        )
+        evaluation.by_threshold[threshold] = PrecisionRecall(
+            precision=precision,
+            recall=recall,
+            true_positives=true_positives,
+            total_tracker_boxes=total_tracker_boxes,
+            total_ground_truth_boxes=total_ground_truth_boxes,
+        )
+    return evaluation
+
+
+def sweep_iou_thresholds(
+    evaluations: Sequence[RecordingEvaluation],
+) -> Dict[float, PrecisionRecall]:
+    """Weighted-average precision/recall per threshold across recordings.
+
+    Weights are each recording's ground-truth track count, as in the
+    paper's Section III-C.
+    """
+    if not evaluations:
+        return {}
+    thresholds = evaluations[0].thresholds()
+    combined: Dict[float, PrecisionRecall] = {}
+    for threshold in thresholds:
+        combined[threshold] = weighted_average(
+            [e.by_threshold[threshold] for e in evaluations],
+            [e.num_ground_truth_tracks for e in evaluations],
+        )
+    return combined
+
+
+def weighted_average(
+    results: Sequence[PrecisionRecall], weights: Sequence[float]
+) -> PrecisionRecall:
+    """Weighted average of precision/recall values.
+
+    The supporting counts are summed so the combined object still reports
+    meaningful totals.
+    """
+    if len(results) != len(weights):
+        raise ValueError(
+            f"results ({len(results)}) and weights ({len(weights)}) must have equal length"
+        )
+    if not results:
+        raise ValueError("cannot average zero results")
+    total_weight = float(sum(weights))
+    if total_weight <= 0:
+        raise ValueError("total weight must be positive")
+    precision = sum(r.precision * w for r, w in zip(results, weights)) / total_weight
+    recall = sum(r.recall * w for r, w in zip(results, weights)) / total_weight
+    return PrecisionRecall(
+        precision=precision,
+        recall=recall,
+        true_positives=sum(r.true_positives for r in results),
+        total_tracker_boxes=sum(r.total_tracker_boxes for r in results),
+        total_ground_truth_boxes=sum(r.total_ground_truth_boxes for r in results),
+    )

@@ -1,0 +1,65 @@
+"""Plain-text report formatting for evaluations and resource comparisons.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep the formatting in one place so tests can check it and the
+examples can reuse it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.evaluation.precision_recall import PrecisionRecall
+
+
+def format_precision_recall_table(
+    results_by_tracker: Mapping[str, Mapping[float, PrecisionRecall]],
+    metric: str = "both",
+) -> str:
+    """Format Fig. 4-style data: metric vs IoU threshold per tracker.
+
+    Parameters
+    ----------
+    results_by_tracker:
+        ``{tracker_name: {iou_threshold: PrecisionRecall}}``.
+    metric:
+        ``"precision"``, ``"recall"`` or ``"both"``.
+    """
+    if metric not in ("precision", "recall", "both"):
+        raise ValueError(f"metric must be precision, recall or both, got {metric!r}")
+    if not results_by_tracker:
+        return "(no results)"
+    thresholds = sorted(next(iter(results_by_tracker.values())).keys())
+    lines = []
+    header = ["tracker", "metric"] + [f"IoU>{t:.1f}" for t in thresholds]
+    lines.append(" | ".join(f"{h:>10}" for h in header))
+    lines.append("-" * len(lines[0]))
+    metrics = ["precision", "recall"] if metric == "both" else [metric]
+    for tracker_name, by_threshold in results_by_tracker.items():
+        for metric_name in metrics:
+            values = [getattr(by_threshold[t], metric_name) for t in thresholds]
+            row = [tracker_name, metric_name] + [f"{v:.3f}" for v in values]
+            lines.append(" | ".join(f"{cell:>10}" for cell in row))
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str], title: str = ""
+) -> str:
+    """Generic fixed-width table formatter for benchmark output."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(f"{c:>18}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>18.4g}")
+            else:
+                cells.append(f"{str(value):>18}")
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Event-camera data substrate: event packets, streams, IO, noise and filters.
+
+A neuromorphic vision sensor (NVS) outputs a stream of events
+``e_i = (x_i, y_i, t_i, p_i)`` whenever the log-intensity at a pixel changes
+by more than a threshold (Section II of the paper).  This package provides
+the event data structures shared by the simulator, the EBBIOT pipeline and
+the event-driven baselines.
+"""
+
+from repro.events.filters import NearestNeighbourFilter, RefractoryFilter
+from repro.events.io import (
+    load_events_csv,
+    load_events_npz,
+    load_recording,
+    save_events_csv,
+    save_events_npz,
+    save_recording,
+)
+from repro.events.noise import BackgroundActivityNoise, HotPixelNoise
+from repro.events.stream import EventStream, frame_windows
+from repro.events.types import (
+    EVENT_DTYPE,
+    OFF_POLARITY,
+    ON_POLARITY,
+    EventPacket,
+    concatenate_packets,
+    empty_packet,
+    make_packet,
+)
+
+__all__ = [
+    "EVENT_DTYPE",
+    "ON_POLARITY",
+    "OFF_POLARITY",
+    "EventPacket",
+    "make_packet",
+    "empty_packet",
+    "concatenate_packets",
+    "EventStream",
+    "frame_windows",
+    "BackgroundActivityNoise",
+    "HotPixelNoise",
+    "NearestNeighbourFilter",
+    "RefractoryFilter",
+    "save_events_npz",
+    "load_events_npz",
+    "save_events_csv",
+    "load_events_csv",
+    "save_recording",
+    "load_recording",
+]

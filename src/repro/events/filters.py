@@ -1,0 +1,173 @@
+"""Event-level noise filters.
+
+These are the *event-driven* noise filters used by the fully event-based
+baseline pipeline (Section II-A of the paper):
+
+* :class:`NearestNeighbourFilter` (NN-filt) — keeps an event only if another
+  event occurred recently in its ``p x p`` spatial neighbourhood.  It needs a
+  per-pixel timestamp memory of ``Bt`` bits, which is exactly the memory cost
+  the paper's Eq. (2) charges against the event-driven approach.
+* :class:`RefractoryFilter` — suppresses events from a pixel that fired less
+  than a refractory period ago; a cheap companion filter commonly used with
+  DVS streams.
+
+Both filters process events strictly in time order, one at a time, mirroring
+how they would run on an embedded event-driven processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class NearestNeighbourFilter:
+    """Nearest-neighbour temporal support filter (NN-filt).
+
+    An event at pixel ``(x, y)`` and time ``t`` is kept if any pixel in its
+    ``p x p`` neighbourhood (excluding itself) has fired within
+    ``support_time_us`` before ``t``.  Every incoming event writes its
+    timestamp to the per-pixel memory regardless of whether it is kept.
+
+    Parameters
+    ----------
+    width, height:
+        Sensor resolution.
+    neighbourhood:
+        Spatial support size ``p`` (the paper uses ``p = 3``).
+    support_time_us:
+        Maximum age of a neighbouring event for it to count as support.
+    """
+
+    width: int
+    height: int
+    neighbourhood: int = 3
+    support_time_us: int = 66_000
+
+    _last_timestamp: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.neighbourhood < 1 or self.neighbourhood % 2 == 0:
+            raise ValueError(
+                f"neighbourhood must be a positive odd integer, got {self.neighbourhood}"
+            )
+        if self.support_time_us <= 0:
+            raise ValueError(
+                f"support_time_us must be positive, got {self.support_time_us}"
+            )
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear the per-pixel timestamp memory."""
+        # -1 marks "never fired"; stored as int64 microseconds.
+        self._last_timestamp = np.full((self.height, self.width), -1, dtype=np.int64)
+
+    @property
+    def memory_bits(self) -> int:
+        """Size of the timestamp memory in bits, assuming ``Bt``-bit stamps.
+
+        The paper's Eq. (2) charges ``Bt * A * B`` bits with ``Bt = 16``.
+        """
+        bt = 16
+        return bt * self.width * self.height
+
+    def process(self, events: np.ndarray) -> np.ndarray:
+        """Filter a time-sorted packet; return the boolean keep-mask.
+
+        The filter is stateful: calling :meth:`process` on consecutive
+        packets of one stream continues from the previous packet's state.
+        """
+        keep = np.zeros(len(events), dtype=bool)
+        half = self.neighbourhood // 2
+        stamps = self._last_timestamp
+        for index in range(len(events)):
+            x = int(events["x"][index])
+            y = int(events["y"][index])
+            t = int(events["t"][index])
+            x_lo, x_hi = max(0, x - half), min(self.width, x + half + 1)
+            y_lo, y_hi = max(0, y - half), min(self.height, y + half + 1)
+            patch = stamps[y_lo:y_hi, x_lo:x_hi]
+            own = stamps[y, x]
+            # Temporarily exclude the pixel's own previous timestamp so an
+            # isolated pixel firing repeatedly does not support itself.
+            stamps[y, x] = -1
+            recent = patch >= (t - self.support_time_us)
+            supported = bool(np.any(recent & (patch >= 0)))
+            stamps[y, x] = own
+            keep[index] = supported
+            stamps[y, x] = t
+        return keep
+
+    def filter(self, events: np.ndarray) -> np.ndarray:
+        """Return only the events that pass the filter."""
+        return events[self.process(events)]
+
+
+@dataclass
+class RefractoryFilter:
+    """Per-pixel refractory-period filter.
+
+    Drops an event if the same pixel fired less than ``refractory_us``
+    microseconds earlier.  Kept events update the pixel's last-fire time.
+    """
+
+    width: int
+    height: int
+    refractory_us: int = 1_000
+
+    _last_timestamp: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.refractory_us <= 0:
+            raise ValueError(f"refractory_us must be positive, got {self.refractory_us}")
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear the per-pixel last-fire memory."""
+        self._last_timestamp = np.full(
+            (self.height, self.width), -(10**15), dtype=np.int64
+        )
+
+    def process(self, events: np.ndarray) -> np.ndarray:
+        """Return the boolean keep-mask for a time-sorted packet."""
+        keep = np.zeros(len(events), dtype=bool)
+        stamps = self._last_timestamp
+        for index in range(len(events)):
+            x = int(events["x"][index])
+            y = int(events["y"][index])
+            t = int(events["t"][index])
+            if t - stamps[y, x] >= self.refractory_us:
+                keep[index] = True
+                stamps[y, x] = t
+        return keep
+
+    def filter(self, events: np.ndarray) -> np.ndarray:
+        """Return only the events that pass the filter."""
+        return events[self.process(events)]
+
+
+def estimate_noise_rate(
+    events: np.ndarray,
+    width: int,
+    height: int,
+    keep_mask: Optional[np.ndarray] = None,
+) -> float:
+    """Estimate the background noise rate (Hz/pixel) from a filtered stream.
+
+    When ``keep_mask`` is given, the rejected events are treated as noise;
+    otherwise all events are counted.  Useful for calibrating the simulator
+    against a recording.
+    """
+    if len(events) == 0:
+        return 0.0
+    duration_s = (int(events["t"][-1]) - int(events["t"][0])) * 1e-6
+    if duration_s <= 0:
+        return 0.0
+    if keep_mask is not None:
+        noise_count = int((~keep_mask).sum())
+    else:
+        noise_count = len(events)
+    return noise_count / (duration_s * width * height)

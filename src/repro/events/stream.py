@@ -1,0 +1,207 @@
+"""Event streams and fixed-duration frame windows.
+
+The EBBIOT processor is interrupt driven: it wakes up every ``tF`` (66 ms in
+the paper) and reads out all events accumulated since the previous interrupt
+(Fig. 2).  :func:`frame_windows` and :meth:`EventStream.iter_frames`
+implement exactly that partitioning of an event stream into frame-duration
+windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.events.types import (
+    EVENT_DTYPE,
+    concatenate_packets,
+    empty_packet,
+    is_time_sorted,
+    validate_packet,
+)
+
+
+def frame_windows(
+    events: np.ndarray,
+    frame_duration_us: int,
+    t_start: Optional[int] = None,
+    t_end: Optional[int] = None,
+) -> Iterator[Tuple[int, int, np.ndarray]]:
+    """Partition an event array into consecutive fixed-duration windows.
+
+    Parameters
+    ----------
+    events:
+        Time-sorted structured event array.
+    frame_duration_us:
+        Window length ``tF`` in microseconds.
+    t_start, t_end:
+        Optional explicit stream bounds.  Default to the first event
+        timestamp and one window past the last event, so every event falls
+        in exactly one window.
+
+    Yields
+    ------
+    (window_start, window_end, window_events)
+        Window bounds in microseconds and the events with
+        ``window_start <= t < window_end``.  Windows with zero events are
+        still yielded (with an empty array) so downstream framing stays in
+        lockstep with wall-clock time.
+    """
+    if frame_duration_us <= 0:
+        raise ValueError(f"frame_duration_us must be positive, got {frame_duration_us}")
+    if len(events) == 0 and (t_start is None or t_end is None):
+        return
+    if t_start is None:
+        t_start = int(events["t"][0])
+    if t_end is None:
+        t_end = int(events["t"][-1]) + 1
+    if t_end <= t_start:
+        return
+
+    timestamps = events["t"]
+    window_start = t_start
+    while window_start < t_end:
+        window_end = window_start + frame_duration_us
+        lo = np.searchsorted(timestamps, window_start, side="left")
+        hi = np.searchsorted(timestamps, window_end, side="left")
+        yield window_start, window_end, events[lo:hi]
+        window_start = window_end
+
+
+@dataclass
+class EventStream:
+    """A time-sorted stream of events from a single sensor.
+
+    Parameters
+    ----------
+    events:
+        Structured event array (dtype :data:`repro.events.types.EVENT_DTYPE`).
+        Sorted by timestamp on construction if needed.
+    width, height:
+        Sensor resolution (``A x B`` in the paper; 240 x 180 for DAVIS).
+    """
+
+    events: np.ndarray = field(default_factory=empty_packet)
+    width: int = 240
+    height: int = 180
+
+    def __post_init__(self) -> None:
+        if self.events.dtype != EVENT_DTYPE:
+            raise TypeError(
+                f"events must have dtype {EVENT_DTYPE}, got {self.events.dtype}"
+            )
+        validate_packet(self.events, self.width, self.height)
+        if not is_time_sorted(self.events):
+            order = np.argsort(self.events["t"], kind="stable")
+            self.events = self.events[order]
+
+    # -- basic properties ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def resolution(self) -> Tuple[int, int]:
+        """Sensor resolution as ``(width, height)``."""
+        return (self.width, self.height)
+
+    @property
+    def t_start(self) -> int:
+        """Timestamp of the first event (0 when empty)."""
+        return int(self.events["t"][0]) if len(self.events) else 0
+
+    @property
+    def t_end(self) -> int:
+        """Timestamp of the last event (0 when empty)."""
+        return int(self.events["t"][-1]) if len(self.events) else 0
+
+    @property
+    def duration_us(self) -> int:
+        """Stream duration in microseconds."""
+        return self.t_end - self.t_start if len(self.events) else 0
+
+    @property
+    def duration_s(self) -> float:
+        """Stream duration in seconds."""
+        return self.duration_us * 1e-6
+
+    @property
+    def num_events(self) -> int:
+        """Total number of events in the stream."""
+        return len(self.events)
+
+    @property
+    def mean_event_rate(self) -> float:
+        """Mean event rate in events/second (0.0 for degenerate streams)."""
+        if self.duration_us == 0:
+            return 0.0
+        return self.num_events / self.duration_s
+
+    # -- slicing and iteration -----------------------------------------------------
+
+    def time_slice(self, t_start: int, t_end: int) -> "EventStream":
+        """Sub-stream with ``t_start <= t < t_end``."""
+        lo = np.searchsorted(self.events["t"], t_start, side="left")
+        hi = np.searchsorted(self.events["t"], t_end, side="left")
+        return EventStream(self.events[lo:hi].copy(), self.width, self.height)
+
+    def iter_frames(
+        self, frame_duration_us: int, align_to_zero: bool = False
+    ) -> Iterator[Tuple[int, int, np.ndarray]]:
+        """Iterate over fixed-duration frame windows (see :func:`frame_windows`).
+
+        Parameters
+        ----------
+        frame_duration_us:
+            The EBBIOT frame duration ``tF`` in microseconds.
+        align_to_zero:
+            When ``True`` windows start at ``t = 0`` instead of the first
+            event timestamp, which keeps frame indices aligned with the
+            simulator's ground-truth sampling grid.
+        """
+        t_start = 0 if align_to_zero else None
+        yield from frame_windows(
+            self.events, frame_duration_us, t_start=t_start, t_end=None
+        )
+
+    def num_frames(self, frame_duration_us: int, align_to_zero: bool = False) -> int:
+        """Number of frame windows :meth:`iter_frames` would yield."""
+        if len(self.events) == 0:
+            return 0
+        t0 = 0 if align_to_zero else self.t_start
+        span = self.t_end + 1 - t0
+        return int(np.ceil(span / frame_duration_us))
+
+    # -- combination ---------------------------------------------------------------
+
+    def merged_with(self, other: "EventStream") -> "EventStream":
+        """Merge two streams from the same sensor into one sorted stream."""
+        if other.resolution != self.resolution:
+            raise ValueError(
+                f"cannot merge streams with different resolutions "
+                f"{self.resolution} and {other.resolution}"
+            )
+        merged = concatenate_packets([self.events, other.events])
+        return EventStream(merged, self.width, self.height)
+
+    def filtered(self, mask: np.ndarray) -> "EventStream":
+        """Stream containing only events where ``mask`` is ``True``."""
+        if len(mask) != len(self.events):
+            raise ValueError(
+                f"mask length {len(mask)} does not match event count {len(self.events)}"
+            )
+        return EventStream(self.events[mask].copy(), self.width, self.height)
+
+    def split(self, num_parts: int) -> List["EventStream"]:
+        """Split the stream into ``num_parts`` equal-duration sub-streams."""
+        if num_parts <= 0:
+            raise ValueError(f"num_parts must be positive, got {num_parts}")
+        if len(self.events) == 0:
+            return [EventStream(empty_packet(), self.width, self.height)] * num_parts
+        edges = np.linspace(self.t_start, self.t_end + 1, num_parts + 1).astype(np.int64)
+        return [
+            self.time_slice(int(edges[i]), int(edges[i + 1])) for i in range(num_parts)
+        ]

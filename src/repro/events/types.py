@@ -1,0 +1,180 @@
+"""Event data structures.
+
+Events are stored in NumPy structured arrays with fields ``x``, ``y``, ``t``
+and ``p``.  The array-of-events representation keeps per-event semantics
+(needed by the NN-filter and EBMS baselines, which genuinely process events
+one at a time) while allowing vectorised accumulation into binary frames for
+the EBBIOT path.
+
+Timestamps ``t`` are in microseconds, matching the DAVIS sensor resolution
+quoted in the paper.  Polarity ``p`` is ``+1`` for ON events and ``-1`` for
+OFF events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+#: Structured dtype of a single event: pixel coordinates, timestamp (us), polarity.
+EVENT_DTYPE = np.dtype(
+    [
+        ("x", np.int16),
+        ("y", np.int16),
+        ("t", np.int64),
+        ("p", np.int8),
+    ]
+)
+
+#: Polarity value of an ON event (intensity increased past the threshold).
+ON_POLARITY = 1
+#: Polarity value of an OFF event (intensity decreased past the threshold).
+OFF_POLARITY = -1
+
+
+def make_packet(
+    x: Sequence[int],
+    y: Sequence[int],
+    t: Sequence[int],
+    p: Sequence[int],
+) -> np.ndarray:
+    """Build an event packet (structured array) from parallel field arrays.
+
+    Parameters
+    ----------
+    x, y:
+        Pixel coordinates.
+    t:
+        Timestamps in microseconds.
+    p:
+        Polarities, ``+1`` or ``-1``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Structured array with dtype :data:`EVENT_DTYPE`.
+
+    Raises
+    ------
+    ValueError
+        If the field arrays have mismatched lengths or polarity values are
+        not in ``{-1, +1}``.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    t = np.asarray(t)
+    p = np.asarray(p)
+    lengths = {len(x), len(y), len(t), len(p)}
+    if len(lengths) != 1:
+        raise ValueError(
+            f"event field arrays must have equal length, got lengths "
+            f"x={len(x)} y={len(y)} t={len(t)} p={len(p)}"
+        )
+    if len(p) and not np.all(np.isin(p, (ON_POLARITY, OFF_POLARITY))):
+        raise ValueError("polarity values must be +1 (ON) or -1 (OFF)")
+    packet = np.empty(len(x), dtype=EVENT_DTYPE)
+    packet["x"] = x
+    packet["y"] = y
+    packet["t"] = t
+    packet["p"] = p
+    return packet
+
+
+def empty_packet() -> np.ndarray:
+    """Return an empty event packet."""
+    return np.empty(0, dtype=EVENT_DTYPE)
+
+
+def concatenate_packets(packets: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate packets and sort the result by timestamp (stable)."""
+    packets = [p for p in packets if len(p)]
+    if not packets:
+        return empty_packet()
+    merged = np.concatenate(packets)
+    order = np.argsort(merged["t"], kind="stable")
+    return merged[order]
+
+
+def validate_packet(packet: np.ndarray, width: int, height: int) -> None:
+    """Raise :class:`ValueError` if any event falls outside the sensor array.
+
+    Parameters
+    ----------
+    packet:
+        Structured event array.
+    width, height:
+        Sensor resolution ``A x B``.
+    """
+    if len(packet) == 0:
+        return
+    if packet["x"].min() < 0 or packet["x"].max() >= width:
+        raise ValueError(
+            f"event x coordinates outside [0, {width}): "
+            f"[{packet['x'].min()}, {packet['x'].max()}]"
+        )
+    if packet["y"].min() < 0 or packet["y"].max() >= height:
+        raise ValueError(
+            f"event y coordinates outside [0, {height}): "
+            f"[{packet['y'].min()}, {packet['y'].max()}]"
+        )
+
+
+def is_time_sorted(packet: np.ndarray) -> bool:
+    """Return ``True`` when the packet timestamps are non-decreasing."""
+    if len(packet) < 2:
+        return True
+    return bool(np.all(np.diff(packet["t"]) >= 0))
+
+
+@dataclass(frozen=True)
+class EventPacket:
+    """Thin convenience wrapper pairing an event array with sensor geometry.
+
+    The raw structured array is always accessible via :attr:`events`; most
+    library code passes the bare array around, but the wrapper is handy at
+    API boundaries where the sensor resolution must travel with the data.
+    """
+
+    events: np.ndarray
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.events.dtype != EVENT_DTYPE:
+            raise TypeError(
+                f"events must have dtype {EVENT_DTYPE}, got {self.events.dtype}"
+            )
+        validate_packet(self.events, self.width, self.height)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, int, int]]:
+        for event in self.events:
+            yield (int(event["x"]), int(event["y"]), int(event["t"]), int(event["p"]))
+
+    @property
+    def duration(self) -> int:
+        """Time span covered by the packet in microseconds (0 if < 2 events)."""
+        if len(self.events) < 2:
+            return 0
+        return int(self.events["t"].max() - self.events["t"].min())
+
+    @property
+    def event_rate(self) -> float:
+        """Mean event rate in events per second (0.0 for short packets)."""
+        duration = self.duration
+        if duration == 0:
+            return 0.0
+        return len(self.events) / (duration * 1e-6)
+
+    def time_slice(self, t_start: int, t_end: int) -> "EventPacket":
+        """Return the sub-packet with timestamps in ``[t_start, t_end)``."""
+        mask = (self.events["t"] >= t_start) & (self.events["t"] < t_end)
+        return EventPacket(self.events[mask], self.width, self.height)
+
+    def with_events(self, events: np.ndarray) -> "EventPacket":
+        """Return a copy of this packet wrapping a different event array."""
+        return EventPacket(events, self.width, self.height)

@@ -1,0 +1,147 @@
+"""Whole-pipeline resource totals and the Fig. 5 comparison.
+
+Fig. 5 compares total computes per frame and total memory of the EBMS
+pipeline (NN-filt + EBMS tracker) and the EBBI+KF pipeline (EBBI + RPN + KF)
+against EBBIOT (EBBI + RPN + OT), normalised to EBBIOT.  With the paper's
+constants EBBIOT needs roughly 3X fewer computations and 7X less memory
+than the event-driven pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.resources.ebbi_model import EbbiResourceModel, NnFilterResourceModel
+from repro.resources.params import ResourceParams
+from repro.resources.rpn_model import RpnResourceModel
+from repro.resources.tracker_models import (
+    EbmsResourceModel,
+    KalmanResourceModel,
+    OverlapTrackerResourceModel,
+)
+
+_BITS_PER_KB = 8 * 1024
+
+
+@dataclass(frozen=True)
+class PipelineResources:
+    """Total computes / memory of one processing pipeline."""
+
+    name: str
+    computes_per_frame: float
+    memory_bits: float
+    breakdown: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def memory_kilobytes(self) -> float:
+        """Total memory in kilobytes."""
+        return self.memory_bits / _BITS_PER_KB
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "computes_per_frame": self.computes_per_frame,
+            "memory_bits": self.memory_bits,
+            "memory_kilobytes": self.memory_kilobytes,
+            "breakdown": self.breakdown,
+        }
+
+
+def _combine(name: str, parts: Dict[str, object]) -> PipelineResources:
+    """Sum the computes and memory of a set of stage models."""
+    total_computes = 0.0
+    total_memory = 0.0
+    breakdown = {}
+    for stage_name, model in parts.items():
+        computes = model.computes_per_frame()
+        memory = model.memory_bits()
+        total_computes += computes
+        total_memory += memory
+        breakdown[stage_name] = {
+            "computes_per_frame": computes,
+            "memory_bits": memory,
+        }
+    return PipelineResources(
+        name=name,
+        computes_per_frame=total_computes,
+        memory_bits=total_memory,
+        breakdown=breakdown,
+    )
+
+
+def ebbiot_pipeline_resources(
+    params: Optional[ResourceParams] = None,
+) -> PipelineResources:
+    """EBBIOT = EBBI + median filter, histogram RPN, overlap tracker."""
+    params = params or ResourceParams()
+    return _combine(
+        "EBBIOT",
+        {
+            "ebbi": EbbiResourceModel(params),
+            "rpn": RpnResourceModel(params),
+            "overlap_tracker": OverlapTrackerResourceModel(params),
+        },
+    )
+
+
+def ebbi_kf_pipeline_resources(
+    params: Optional[ResourceParams] = None,
+) -> PipelineResources:
+    """EBBI+KF = EBBI + median filter, histogram RPN, Kalman filter tracker."""
+    params = params or ResourceParams()
+    return _combine(
+        "EBBI+KF",
+        {
+            "ebbi": EbbiResourceModel(params),
+            "rpn": RpnResourceModel(params),
+            "kalman": KalmanResourceModel(params),
+        },
+    )
+
+
+def ebms_pipeline_resources(
+    params: Optional[ResourceParams] = None,
+) -> PipelineResources:
+    """EBMS pipeline = NN-filter + event-based mean-shift tracker."""
+    params = params or ResourceParams()
+    return _combine(
+        "EBMS",
+        {
+            "nn_filter": NnFilterResourceModel(params),
+            "ebms": EbmsResourceModel(params),
+        },
+    )
+
+
+def relative_comparison(
+    params: Optional[ResourceParams] = None,
+) -> List[dict]:
+    """The Fig. 5 rows: resources of each pipeline relative to EBBIOT.
+
+    Returns
+    -------
+    list of dict
+        One row per pipeline with absolute totals and the ratios
+        ``computes_relative`` / ``memory_relative`` (EBBIOT = 1.0).
+    """
+    params = params or ResourceParams()
+    ebbiot = ebbiot_pipeline_resources(params)
+    pipelines = [
+        ebbiot,
+        ebbi_kf_pipeline_resources(params),
+        ebms_pipeline_resources(params),
+    ]
+    rows = []
+    for pipeline in pipelines:
+        rows.append(
+            {
+                "pipeline": pipeline.name,
+                "computes_per_frame": pipeline.computes_per_frame,
+                "memory_kilobytes": pipeline.memory_kilobytes,
+                "computes_relative": pipeline.computes_per_frame / ebbiot.computes_per_frame,
+                "memory_relative": pipeline.memory_bits / ebbiot.memory_bits,
+            }
+        )
+    return rows

@@ -1,0 +1,103 @@
+"""Resource models of the two noise-filtering front ends (Eq. (1) and (2)).
+
+* :class:`EbbiResourceModel` — the EBBIOT front end: accumulate an EBBI and
+  median-filter it.  ``C_EBBI ≈ (alpha * p^2 + 2) * A * B`` operations per
+  frame and ``M_EBBI = 2 * A * B`` bits (raw + filtered frame).
+* :class:`NnFilterResourceModel` — the event-driven front end: NN-filt with
+  a per-pixel ``Bt``-bit timestamp memory.
+  ``C_NN-filt = (2 * (p^2 - 1) + Bt) * n`` operations per frame and
+  ``M_NN-filt = Bt * A * B`` bits.
+
+With the paper's constants these give 125.2 kops vs 276.4 kops per frame and
+an 8X memory saving for the EBBI (10.8 kB vs 86.4 kB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resources.params import ResourceParams
+
+#: Bits per byte, used when reporting kilobytes.
+_BITS_PER_KB = 8 * 1024
+
+
+@dataclass
+class EbbiResourceModel:
+    """Compute / memory model of EBBI generation + median filtering."""
+
+    params: ResourceParams = field(default_factory=ResourceParams)
+
+    def computes_per_frame(self) -> float:
+        """``C_EBBI ≈ (alpha * p^2 + 2) * A * B`` operations (Eq. (1)).
+
+        Per pixel: ``alpha * p^2`` expected counter increments in the patch,
+        one comparison against ``floor(p^2 / 2)`` and one memory write for
+        the EBBI itself (the paper folds the comparison and write into the
+        "+2").
+        """
+        p = self.params
+        return (p.active_pixel_fraction * p.patch_size**2 + 2) * p.num_pixels
+
+    def memory_bits(self) -> float:
+        """``M_EBBI = 2 * A * B`` bits: the raw and the filtered frame."""
+        return 2 * self.params.num_pixels
+
+    def memory_kilobytes(self) -> float:
+        """Memory in kilobytes (10.8 kB for DAVIS240)."""
+        return self.memory_bits() / _BITS_PER_KB
+
+    def summary(self) -> dict:
+        """All model outputs as a dict (for tables and benchmarks)."""
+        return {
+            "name": "EBBI + median filter",
+            "computes_per_frame": self.computes_per_frame(),
+            "memory_bits": self.memory_bits(),
+            "memory_kilobytes": self.memory_kilobytes(),
+        }
+
+
+@dataclass
+class NnFilterResourceModel:
+    """Compute / memory model of the nearest-neighbour event filter."""
+
+    params: ResourceParams = field(default_factory=ResourceParams)
+
+    def events_per_frame(self) -> float:
+        """``n = beta * alpha * A * B`` raw events per frame."""
+        return self.params.events_per_frame_raw
+
+    def computes_per_event(self) -> float:
+        """``2 * (p^2 - 1) + Bt`` operations per incoming event.
+
+        ``p^2 - 1`` comparisons plus ``p^2 - 1`` counter increments over the
+        neighbourhood, then one ``Bt``-bit timestamp write.
+        """
+        p = self.params
+        return 2 * (p.patch_size**2 - 1) + p.timestamp_bits
+
+    def computes_per_frame(self) -> float:
+        """``C_NN-filt = (2 (p^2 - 1) + Bt) * n`` operations (Eq. (2))."""
+        return self.computes_per_event() * self.events_per_frame()
+
+    def memory_bits(self) -> float:
+        """``M_NN-filt = Bt * A * B`` bits of per-pixel timestamp storage."""
+        return self.params.timestamp_bits * self.params.num_pixels
+
+    def memory_kilobytes(self) -> float:
+        """Memory in kilobytes (86.4 kB for DAVIS240 with Bt = 16)."""
+        return self.memory_bits() / _BITS_PER_KB
+
+    def memory_saving_vs_ebbi(self) -> float:
+        """Ratio ``M_NN-filt / M_EBBI`` — the paper's 8X memory saving."""
+        ebbi = EbbiResourceModel(self.params)
+        return self.memory_bits() / ebbi.memory_bits()
+
+    def summary(self) -> dict:
+        """All model outputs as a dict."""
+        return {
+            "name": "NN-filter",
+            "computes_per_frame": self.computes_per_frame(),
+            "memory_bits": self.memory_bits(),
+            "memory_kilobytes": self.memory_kilobytes(),
+        }

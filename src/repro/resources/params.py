@@ -1,0 +1,127 @@
+"""Shared parameters of the analytic resource models.
+
+Symbols follow the paper's notation table (Section II): ``A x B`` image
+resolution, ``Bt`` timestamp bits, ``NT`` trackers, ``tF`` frame duration,
+``p`` noise-filter neighbourhood, plus the data-dependent constants used in
+Section II-C (``alpha``, ``beta``, ``NF``, ``CL``, ``gamma_merge``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ResourceParams:
+    """Parameters feeding the Eq. (1)-(8) resource models.
+
+    Parameters
+    ----------
+    width, height:
+        Sensor resolution ``A`` and ``B`` (240 x 180).
+    patch_size:
+        Noise-filter neighbourhood ``p`` (3).
+    timestamp_bits:
+        Bits per stored timestamp ``Bt`` (16).
+    active_pixel_fraction:
+        ``alpha`` — average fraction of active pixels; the paper uses the
+        conservative estimate that objects occupy at most 10 % of the image.
+    events_per_active_pixel:
+        ``beta`` — average number of times an active pixel fires within one
+        frame (>= 1; the paper's numbers correspond to 2).
+    downsample_x, downsample_y:
+        RPN downsampling factors ``s1`` (6) and ``s2`` (3).
+    num_trackers:
+        Average number of valid trackers ``NT`` (≈ 2 for the recordings).
+    max_trackers:
+        Maximum tracker slots (8), used for worst-case memory.
+    events_per_frame_filtered:
+        ``NF`` — average events per frame at the NN-filter output (≈ 650).
+    active_clusters:
+        ``CL`` — average number of active EBMS clusters (≈ 2).
+    max_clusters:
+        ``CLmax`` — maximum EBMS clusters (8).
+    merge_probability:
+        ``gamma_merge`` — probability of two clusters merging (≈ 0.1).
+    """
+
+    width: int = 240
+    height: int = 180
+    patch_size: int = 3
+    timestamp_bits: int = 16
+    active_pixel_fraction: float = 0.1
+    events_per_active_pixel: float = 2.0
+    downsample_x: int = 6
+    downsample_y: int = 3
+    num_trackers: float = 2.0
+    max_trackers: int = 8
+    events_per_frame_filtered: float = 650.0
+    active_clusters: float = 2.0
+    max_clusters: int = 8
+    merge_probability: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("resolution must be positive")
+        if self.patch_size < 1 or self.patch_size % 2 == 0:
+            raise ValueError(f"patch_size must be a positive odd integer, got {self.patch_size}")
+        if self.timestamp_bits <= 0:
+            raise ValueError("timestamp_bits must be positive")
+        if not 0.0 <= self.active_pixel_fraction <= 1.0:
+            raise ValueError("active_pixel_fraction must be in [0, 1]")
+        if self.events_per_active_pixel < 1.0:
+            raise ValueError("events_per_active_pixel (beta) must be >= 1")
+        if self.downsample_x < 1 or self.downsample_y < 1:
+            raise ValueError("downsampling factors must be >= 1")
+        if self.num_trackers < 0 or self.max_trackers < 1:
+            raise ValueError("tracker counts must be non-negative / positive")
+        if self.events_per_frame_filtered < 0:
+            raise ValueError("events_per_frame_filtered must be non-negative")
+        if self.active_clusters < 0 or self.max_clusters < 1:
+            raise ValueError("cluster counts must be non-negative / positive")
+        if not 0.0 <= self.merge_probability <= 1.0:
+            raise ValueError("merge_probability must be in [0, 1]")
+
+    @property
+    def num_pixels(self) -> int:
+        """``A * B``."""
+        return self.width * self.height
+
+    @property
+    def events_per_frame_raw(self) -> float:
+        """``n = beta * alpha * A * B`` — raw events per frame (Eq. (2))."""
+        return (
+            self.events_per_active_pixel
+            * self.active_pixel_fraction
+            * self.num_pixels
+        )
+
+    @classmethod
+    def paper_defaults(cls) -> "ResourceParams":
+        """The parameter values used for the paper's quoted numbers."""
+        return cls()
+
+    def with_measured(
+        self,
+        active_pixel_fraction: float = None,
+        events_per_frame_filtered: float = None,
+        num_trackers: float = None,
+        active_clusters: float = None,
+    ) -> "ResourceParams":
+        """Copy with data-dependent constants replaced by measured values.
+
+        The benchmark harness calls this with the statistics reported by
+        :class:`repro.core.pipeline.EbbiotPipeline` so the resource models
+        can be evaluated both with the paper's constants and with values
+        measured on the synthetic recordings.
+        """
+        updates = {}
+        if active_pixel_fraction is not None:
+            updates["active_pixel_fraction"] = active_pixel_fraction
+        if events_per_frame_filtered is not None:
+            updates["events_per_frame_filtered"] = events_per_frame_filtered
+        if num_trackers is not None:
+            updates["num_trackers"] = num_trackers
+        if active_clusters is not None:
+            updates["active_clusters"] = active_clusters
+        return replace(self, **updates)

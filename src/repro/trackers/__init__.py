@@ -1,0 +1,32 @@
+"""Multi-object trackers: shared track data structures and the baselines.
+
+The EBBIOT overlap tracker itself lives in :mod:`repro.core.overlap_tracker`
+(it is part of the paper's contribution); this package provides the shared
+:class:`TrackObservation` / :class:`TrackerBase` interfaces plus the two
+baselines the paper compares against:
+
+* :class:`KalmanFilterTracker` — constant-velocity Kalman filter tracker on
+  the EBBI+RPN proposals (the EBBI+KF baseline of Fig. 4 / Fig. 5).
+* :class:`EbmsTracker` — event-based mean-shift cluster tracker (Delbruck &
+  Lang style), fed by the NN-filtered event stream.
+"""
+
+from repro.trackers.association import greedy_overlap_assignment, iou_assignment
+from repro.trackers.base import TrackerBase, TrackObservation, TrackState
+from repro.trackers.ebms import EbmsCluster, EbmsConfig, EbmsTracker
+from repro.trackers.kalman import ConstantVelocityKalmanFilter
+from repro.trackers.kalman_tracker import KalmanFilterTracker, KalmanTrackerConfig
+
+__all__ = [
+    "TrackObservation",
+    "TrackState",
+    "TrackerBase",
+    "greedy_overlap_assignment",
+    "iou_assignment",
+    "ConstantVelocityKalmanFilter",
+    "KalmanFilterTracker",
+    "KalmanTrackerConfig",
+    "EbmsTracker",
+    "EbmsCluster",
+    "EbmsConfig",
+]

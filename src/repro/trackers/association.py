@@ -1,0 +1,107 @@
+"""Track-to-detection association helpers.
+
+The Kalman-filter baseline and the evaluation harness both need to assign
+detections (region proposals or tracker boxes) to existing tracks or
+ground-truth boxes.  Two strategies are provided:
+
+* :func:`greedy_overlap_assignment` — repeatedly pick the highest-scoring
+  remaining pair; cheap and what an embedded implementation would use.
+* :func:`iou_assignment` — optimal one-to-one assignment maximising total
+  IoU via scipy's Hungarian solver, used by the evaluation where optimality
+  matters more than cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.geometry import BoundingBox, boxes_iou
+
+try:  # scipy is an optional accelerator for optimal assignment.
+    from scipy.optimize import linear_sum_assignment
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - scipy is installed in this environment
+    _HAVE_SCIPY = False
+
+
+def overlap_score_matrix(
+    tracks: Sequence[BoundingBox],
+    detections: Sequence[BoundingBox],
+    score: Callable[[BoundingBox, BoundingBox], float] = boxes_iou,
+) -> np.ndarray:
+    """Pairwise score matrix, ``shape = (len(tracks), len(detections))``."""
+    matrix = np.zeros((len(tracks), len(detections)))
+    for i, track_box in enumerate(tracks):
+        for j, detection_box in enumerate(detections):
+            matrix[i, j] = score(track_box, detection_box)
+    return matrix
+
+
+def greedy_overlap_assignment(
+    tracks: Sequence[BoundingBox],
+    detections: Sequence[BoundingBox],
+    min_score: float = 1e-9,
+    score: Callable[[BoundingBox, BoundingBox], float] = boxes_iou,
+) -> List[Tuple[int, int]]:
+    """Greedy one-to-one assignment by descending score.
+
+    Returns
+    -------
+    list of (track_index, detection_index)
+        Matched pairs with score >= ``min_score``.
+    """
+    if not tracks or not detections:
+        return []
+    matrix = overlap_score_matrix(tracks, detections, score)
+    pairs: List[Tuple[int, int]] = []
+    used_tracks: set = set()
+    used_detections: set = set()
+    order = np.argsort(matrix, axis=None)[::-1]
+    for flat_index in order:
+        i, j = np.unravel_index(flat_index, matrix.shape)
+        if matrix[i, j] < min_score:
+            break
+        if i in used_tracks or j in used_detections:
+            continue
+        pairs.append((int(i), int(j)))
+        used_tracks.add(int(i))
+        used_detections.add(int(j))
+    return pairs
+
+
+def iou_assignment(
+    tracks: Sequence[BoundingBox],
+    detections: Sequence[BoundingBox],
+    min_iou: float = 1e-9,
+) -> List[Tuple[int, int]]:
+    """Optimal one-to-one assignment maximising total IoU.
+
+    Falls back to the greedy assignment when scipy is unavailable.
+    """
+    if not tracks or not detections:
+        return []
+    if not _HAVE_SCIPY:
+        return greedy_overlap_assignment(tracks, detections, min_score=min_iou)
+    matrix = overlap_score_matrix(tracks, detections)
+    row_indices, col_indices = linear_sum_assignment(-matrix)
+    pairs = [
+        (int(i), int(j))
+        for i, j in zip(row_indices, col_indices)
+        if matrix[i, j] >= min_iou
+    ]
+    return pairs
+
+
+def unmatched_indices(
+    total: int, matched: Sequence[Tuple[int, int]], position: int
+) -> List[int]:
+    """Indices in ``range(total)`` that do not appear in ``matched``.
+
+    ``position`` selects which element of the pairs to look at (0 for track
+    indices, 1 for detection indices).
+    """
+    used = {pair[position] for pair in matched}
+    return [index for index in range(total) if index not in used]

@@ -1,0 +1,27 @@
+"""Shared utilities: geometry primitives and validation helpers."""
+
+from repro.utils.geometry import (
+    BoundingBox,
+    boxes_intersection_area,
+    boxes_iou,
+    boxes_union_area,
+    clip_box,
+    merge_boxes,
+)
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_positive,
+    ensure_positive_int,
+)
+
+__all__ = [
+    "BoundingBox",
+    "boxes_intersection_area",
+    "boxes_iou",
+    "boxes_union_area",
+    "clip_box",
+    "merge_boxes",
+    "ensure_in_range",
+    "ensure_positive",
+    "ensure_positive_int",
+]

@@ -1,0 +1,21 @@
+"""Terminal-friendly visualisation of EBBI frames, tracks and metric curves.
+
+The paper's figures are images; in a headless reproduction the closest
+useful equivalents are ASCII renderings (frames with box overlays,
+histograms, precision/recall curves) that can be printed from the examples
+and benchmarks and diffed in CI.
+"""
+
+from repro.visualization.ascii import (
+    render_frame_ascii,
+    render_histogram_ascii,
+    render_precision_recall_curves,
+    render_track_trajectories,
+)
+
+__all__ = [
+    "render_frame_ascii",
+    "render_histogram_ascii",
+    "render_precision_recall_curves",
+    "render_track_trajectories",
+]

@@ -1,0 +1,140 @@
+"""ASCII renderers for binary frames, box overlays, histograms and curves."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.geometry import BoundingBox
+
+
+def render_frame_ascii(
+    frame: np.ndarray,
+    boxes: Sequence[BoundingBox] = (),
+    max_width: int = 80,
+    max_height: int = 36,
+) -> str:
+    """Render a binary frame (origin bottom-left) as ASCII art.
+
+    Active pixels are ``#`` (or ``@`` inside a box), inactive pixels are
+    ``.`` (or ``+`` inside a box), so box overlays remain visible on both
+    foreground and background.
+
+    Parameters
+    ----------
+    frame:
+        ``(height, width)`` binary array.
+    boxes:
+        Boxes to overlay (tracker or proposal boxes), in pixel coordinates.
+    max_width, max_height:
+        Output size in characters; the frame is block-downsampled to fit.
+    """
+    if frame.ndim != 2:
+        raise ValueError(f"frame must be 2-D, got shape {frame.shape}")
+    if max_width < 2 or max_height < 2:
+        raise ValueError("output size must be at least 2x2 characters")
+    height, width = frame.shape
+    step_x = max(1, int(np.ceil(width / max_width)))
+    step_y = max(1, int(np.ceil(height / max_height)))
+
+    lines = []
+    # Render top row first so the output reads with y increasing upwards.
+    for y in range(height - step_y, -1, -step_y):
+        characters = []
+        for x in range(0, width, step_x):
+            block_active = frame[y : y + step_y, x : x + step_x].sum() > 0
+            in_box = any(box.contains_point(x + step_x / 2, y + step_y / 2) for box in boxes)
+            if block_active:
+                characters.append("@" if in_box else "#")
+            else:
+                characters.append("+" if in_box else ".")
+        lines.append("".join(characters))
+    return "\n".join(lines)
+
+
+def render_histogram_ascii(
+    histogram: np.ndarray, height: int = 8, label: str = ""
+) -> str:
+    """Render a 1-D histogram as a column chart of ``height`` text rows."""
+    if histogram.ndim != 1:
+        raise ValueError("histogram must be 1-D")
+    if height < 1:
+        raise ValueError("height must be >= 1")
+    maximum = float(histogram.max()) if len(histogram) else 0.0
+    lines = []
+    if label:
+        lines.append(f"{label} (max = {maximum:g})")
+    if maximum <= 0:
+        lines.append("(empty histogram)")
+        return "\n".join(lines)
+    for level in range(height, 0, -1):
+        threshold = maximum * level / height
+        row = "".join("|" if value >= threshold else " " for value in histogram)
+        lines.append(row)
+    lines.append("-" * len(histogram))
+    return "\n".join(lines)
+
+
+def render_precision_recall_curves(
+    results_by_tracker: Mapping[str, Mapping[float, object]],
+    metric: str = "precision",
+    width: int = 50,
+) -> str:
+    """Render Fig. 4-style curves (metric vs IoU threshold) as text bars.
+
+    Parameters
+    ----------
+    results_by_tracker:
+        ``{tracker: {iou_threshold: PrecisionRecall}}`` as produced by
+        :func:`repro.evaluation.sweep_iou_thresholds`.
+    metric:
+        ``"precision"`` or ``"recall"``.
+    width:
+        Bar width corresponding to a value of 1.0.
+    """
+    if metric not in ("precision", "recall"):
+        raise ValueError(f"metric must be precision or recall, got {metric!r}")
+    if not results_by_tracker:
+        return "(no results)"
+    lines = [f"{metric} vs IoU threshold (bar = {width} chars at 1.0)"]
+    for tracker_name, by_threshold in results_by_tracker.items():
+        lines.append(f"{tracker_name}:")
+        for threshold in sorted(by_threshold):
+            value = float(getattr(by_threshold[threshold], metric))
+            bar = "#" * int(round(max(0.0, min(1.0, value)) * width))
+            lines.append(f"  IoU>{threshold:.1f} {value:5.3f} |{bar}")
+    return "\n".join(lines)
+
+
+def render_track_trajectories(
+    observations,
+    width: int = 240,
+    height: int = 180,
+    max_width: int = 80,
+    max_height: int = 24,
+) -> str:
+    """Plot track centroids over time on an ASCII canvas.
+
+    Each track id is drawn with a distinct character (cycling through 0-9 and
+    A-Z), so crossing trajectories remain distinguishable.
+    """
+    if max_width < 2 or max_height < 2:
+        raise ValueError("output size must be at least 2x2 characters")
+    canvas = [["." for _ in range(max_width)] for _ in range(max_height)]
+    symbols = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    symbol_by_track: Dict[int, str] = {}
+    for observation in observations:
+        track_id = observation.track_id
+        if track_id not in symbol_by_track:
+            symbol_by_track[track_id] = symbols[len(symbol_by_track) % len(symbols)]
+        cx, cy = observation.box.center
+        column = int(np.clip(cx / width * (max_width - 1), 0, max_width - 1))
+        row = int(np.clip(cy / height * (max_height - 1), 0, max_height - 1))
+        # Row 0 of the canvas is the top of the output; y grows upwards.
+        canvas[max_height - 1 - row][column] = symbol_by_track[track_id]
+    legend = ", ".join(
+        f"{symbol} = track {track_id}" for track_id, symbol in sorted(symbol_by_track.items())
+    )
+    body = "\n".join("".join(row) for row in canvas)
+    return body + ("\n" + legend if legend else "")

@@ -1,0 +1,96 @@
+"""Tests for the connected-component region proposal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cca_rpn import ConnectedComponentRPN, label_connected_components
+
+
+def _frame_with_blocks(*blocks, width=120, height=90):
+    frame = np.zeros((height, width), dtype=np.uint8)
+    for x, y, w, h in blocks:
+        frame[y : y + h, x : x + w] = 1
+    return frame
+
+
+class TestConnectedComponentLabelling:
+    def test_single_component(self):
+        labels, count = label_connected_components(_frame_with_blocks((10, 10, 5, 5)))
+        assert count == 1
+        assert (labels > 0).sum() == 25
+
+    def test_two_separate_components(self):
+        frame = _frame_with_blocks((5, 5, 4, 4), (50, 50, 6, 6))
+        labels, count = label_connected_components(frame)
+        assert count == 2
+        assert set(np.unique(labels)) == {0, 1, 2}
+
+    def test_diagonal_connectivity(self):
+        frame = np.zeros((10, 10), dtype=np.uint8)
+        frame[2, 2] = 1
+        frame[3, 3] = 1
+        _, count8 = label_connected_components(frame, connectivity=8)
+        _, count4 = label_connected_components(frame, connectivity=4)
+        assert count8 == 1
+        assert count4 == 2
+
+    def test_u_shape_merges_via_union_find(self):
+        """A U-shaped component gets provisional labels that must be merged."""
+        frame = np.zeros((10, 12), dtype=np.uint8)
+        frame[2:8, 2] = 1
+        frame[2:8, 8] = 1
+        frame[7, 2:9] = 1
+        _, count = label_connected_components(frame)
+        assert count == 1
+
+    def test_empty_frame(self):
+        labels, count = label_connected_components(np.zeros((5, 5), dtype=np.uint8))
+        assert count == 0
+        assert labels.sum() == 0
+
+    def test_invalid_connectivity(self):
+        with pytest.raises(ValueError):
+            label_connected_components(np.zeros((5, 5)), connectivity=6)
+
+
+class TestConnectedComponentRPN:
+    def test_one_proposal_per_component(self):
+        frame = _frame_with_blocks((5, 5, 8, 8), (60, 40, 10, 10))
+        proposals = ConnectedComponentRPN(merge_gap_px=0.0).propose(frame)
+        assert len(proposals) == 2
+
+    def test_small_components_discarded(self):
+        frame = _frame_with_blocks((5, 5, 2, 2), (60, 40, 10, 10))
+        proposals = ConnectedComponentRPN(min_component_pixels=5, merge_gap_px=0.0).propose(frame)
+        assert len(proposals) == 1
+
+    def test_nearby_fragments_merged(self):
+        frame = _frame_with_blocks((20, 20, 8, 12), (31, 20, 8, 12))
+        proposals = ConnectedComponentRPN(merge_gap_px=6.0).propose(frame)
+        assert len(proposals) == 1
+        assert proposals[0].box.width >= 19
+
+    def test_far_components_not_merged(self):
+        frame = _frame_with_blocks((5, 5, 8, 8), (80, 60, 8, 8))
+        proposals = ConnectedComponentRPN(merge_gap_px=4.0).propose(frame)
+        assert len(proposals) == 2
+
+    def test_box_tightly_encloses_component(self):
+        frame = _frame_with_blocks((30, 40, 12, 6))
+        proposals = ConnectedComponentRPN(merge_gap_px=0.0).propose(frame)
+        box = proposals[0].box
+        assert (box.x, box.y, box.width, box.height) == (30, 40, 12, 6)
+
+    def test_empty_frame(self):
+        assert ConnectedComponentRPN().propose(np.zeros((20, 20), dtype=np.uint8)) == []
+
+    def test_agrees_with_histogram_rpn_on_simple_scene(self):
+        """On a clean single-object frame both RPNs find roughly the same box."""
+        from repro.core.histogram_rpn import HistogramRegionProposer
+
+        frame = _frame_with_blocks((40, 30, 24, 18), width=240, height=180)
+        cca_box = ConnectedComponentRPN().propose(frame)[0].box
+        hist_box = HistogramRegionProposer().propose(frame)[0].box
+        assert cca_box.iou(hist_box) > 0.5

@@ -1,0 +1,56 @@
+"""Tests for the EBBIOT pipeline configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EbbiotConfig
+
+
+class TestEbbiotConfig:
+    def test_paper_defaults(self):
+        config = EbbiotConfig.paper_defaults()
+        assert config.width == 240
+        assert config.height == 180
+        assert config.frame_duration_us == 66_000
+        assert config.median_patch_size == 3
+        assert config.downsample_x == 6
+        assert config.downsample_y == 3
+        assert config.max_trackers == 8
+        assert config.occlusion_lookahead_frames == 2
+
+    def test_derived_properties(self):
+        config = EbbiotConfig()
+        assert config.frame_rate_hz == pytest.approx(15.15, rel=0.01)
+        assert config.downsampled_width == 40
+        assert config.downsampled_height == 60
+
+    def test_even_patch_rejected(self):
+        with pytest.raises(ValueError):
+            EbbiotConfig(median_patch_size=4)
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            EbbiotConfig(overlap_threshold=0.0)
+        with pytest.raises(ValueError):
+            EbbiotConfig(overlap_threshold=1.5)
+        with pytest.raises(ValueError):
+            EbbiotConfig(prediction_weight=1.5)
+        with pytest.raises(ValueError):
+            EbbiotConfig(histogram_threshold=0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            EbbiotConfig(width=0)
+        with pytest.raises(ValueError):
+            EbbiotConfig(downsample_x=500)
+        with pytest.raises(ValueError):
+            EbbiotConfig(max_trackers=0)
+
+    def test_invalid_negative_counts(self):
+        with pytest.raises(ValueError):
+            EbbiotConfig(occlusion_lookahead_frames=-1)
+        with pytest.raises(ValueError):
+            EbbiotConfig(min_track_age_frames=-1)
+        with pytest.raises(ValueError):
+            EbbiotConfig(max_missed_frames=-1)

@@ -1,0 +1,89 @@
+"""Tests for EBBI frame generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ebbi import EbbiBuilder, events_to_binary_frame
+from repro.events.types import make_packet
+
+
+class TestEventsToBinaryFrame:
+    def test_single_event(self):
+        frame = events_to_binary_frame(make_packet([3], [7], [0], [1]), 240, 180)
+        assert frame.shape == (180, 240)
+        assert frame[7, 3] == 1
+        assert frame.sum() == 1
+
+    def test_polarity_ignored(self):
+        events = make_packet([3, 3], [7, 7], [0, 1], [1, -1])
+        frame = events_to_binary_frame(events, 240, 180)
+        assert frame.sum() == 1
+
+    def test_repeated_events_latch_once(self):
+        events = make_packet([5] * 10, [5] * 10, list(range(10)), [1] * 10)
+        assert events_to_binary_frame(events, 240, 180).sum() == 1
+
+    def test_empty_packet(self):
+        frame = events_to_binary_frame(make_packet([], [], [], []), 240, 180)
+        assert frame.sum() == 0
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            events_to_binary_frame(make_packet([240], [0], [0], [1]), 240, 180)
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            events_to_binary_frame(np.zeros(3), 240, 180)
+
+
+class TestEbbiBuilder:
+    def test_build_returns_raw_and_filtered(self):
+        builder = EbbiBuilder(240, 180, median_patch_size=3)
+        # One dense blob plus one isolated noise pixel.
+        xs = [50 + i % 6 for i in range(36)] + [200]
+        ys = [60 + i // 6 for i in range(36)] + [20]
+        events = make_packet(xs, ys, list(range(37)), [1] * 37)
+        frames = builder.build(events, 0, 66_000)
+        assert frames.raw[20, 200] == 1
+        assert frames.filtered[20, 200] == 0  # isolated pixel filtered out
+        assert frames.filtered[62, 52] == 1  # blob survives
+        assert frames.num_events == 37
+        assert frames.t_mid_us == 33_000
+
+    def test_filtering_disabled(self):
+        builder = EbbiBuilder(240, 180, median_patch_size=0)
+        events = make_packet([10], [10], [0], [1])
+        frames = builder.build(events, 0, 66_000)
+        np.testing.assert_array_equal(frames.raw, frames.filtered)
+
+    def test_even_patch_rejected(self):
+        with pytest.raises(ValueError):
+            EbbiBuilder(240, 180, median_patch_size=4)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            EbbiBuilder(0, 180)
+
+    def test_statistics_accumulate(self):
+        builder = EbbiBuilder(240, 180)
+        builder.build(make_packet([1], [1], [0], [1]), 0, 66_000)
+        builder.build(make_packet([], [], [], []), 66_000, 132_000)
+        assert builder.frames_built == 2
+        assert builder.mean_active_pixel_fraction == pytest.approx(
+            0.5 * (1 / 43_200), rel=1e-6
+        )
+
+    def test_memory_bits_matches_eq1(self):
+        assert EbbiBuilder(240, 180).memory_bits() == 2 * 240 * 180
+
+    def test_active_pixel_fraction_property(self):
+        builder = EbbiBuilder(240, 180)
+        events = make_packet([1, 2, 3], [1, 2, 3], [0, 1, 2], [1, 1, 1])
+        frames = builder.build(events, 0, 66_000)
+        assert frames.active_pixel_count == 3
+        assert frames.active_pixel_fraction == pytest.approx(3 / 43_200)
+
+    def test_mean_fraction_zero_before_any_frames(self):
+        assert EbbiBuilder(240, 180).mean_active_pixel_fraction == 0.0

@@ -1,0 +1,197 @@
+"""Tests for the histogram region-proposal network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.histogram_rpn import (
+    HistogramRegionProposer,
+    compute_histograms,
+    downsample_binary_frame,
+    find_runs_above_threshold,
+)
+
+
+def _frame_with_block(x, y, w, h, width=240, height=180):
+    frame = np.zeros((height, width), dtype=np.uint8)
+    frame[y : y + h, x : x + w] = 1
+    return frame
+
+
+class TestDownsampling:
+    def test_block_sums(self):
+        frame = np.zeros((6, 12), dtype=np.uint8)
+        frame[0:3, 0:6] = 1
+        down = downsample_binary_frame(frame, s1=6, s2=3)
+        assert down.shape == (2, 2)
+        assert down[0, 0] == 18
+        assert down[0, 1] == 0
+        assert down[1, 0] == 0
+
+    def test_total_preserved_for_divisible_shapes(self):
+        rng = np.random.default_rng(0)
+        frame = (rng.random((180, 240)) < 0.2).astype(np.uint8)
+        down = downsample_binary_frame(frame, 6, 3)
+        assert down.sum() == frame.sum()
+        assert down.shape == (60, 40)
+
+    def test_partial_blocks_dropped(self):
+        frame = np.ones((7, 13), dtype=np.uint8)
+        down = downsample_binary_frame(frame, 6, 3)
+        assert down.shape == (2, 2)
+        assert down.sum() == 2 * 2 * 18
+
+    def test_identity_downsampling(self):
+        frame = np.eye(4, dtype=np.uint8)
+        np.testing.assert_array_equal(downsample_binary_frame(frame, 1, 1), frame)
+
+    def test_invalid_factors(self):
+        with pytest.raises(ValueError):
+            downsample_binary_frame(np.zeros((10, 10)), 0, 1)
+        with pytest.raises(ValueError):
+            downsample_binary_frame(np.zeros((10, 10)), 20, 20)
+        with pytest.raises(ValueError):
+            downsample_binary_frame(np.zeros(10), 2, 2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.uint8,
+            shape=st.tuples(
+                st.integers(6, 36).filter(lambda v: v % 3 == 0),
+                st.integers(6, 48).filter(lambda v: v % 6 == 0),
+            ),
+            elements=st.integers(0, 1),
+        )
+    )
+    def test_property_sum_preserved(self, frame):
+        down = downsample_binary_frame(frame, 6, 3)
+        assert down.sum() == frame.sum()
+
+
+class TestHistogramsAndRuns:
+    def test_histograms_are_projections(self):
+        down = np.array([[1, 0, 2], [0, 3, 0]])
+        hist_x, hist_y = compute_histograms(down)
+        np.testing.assert_array_equal(hist_x, [1, 3, 2])
+        np.testing.assert_array_equal(hist_y, [3, 3])
+
+    def test_find_runs_simple(self):
+        histogram = np.array([0, 0, 2, 3, 1, 0, 5, 0])
+        assert find_runs_above_threshold(histogram, 1) == [(2, 5), (6, 7)]
+
+    def test_find_runs_threshold(self):
+        histogram = np.array([1, 1, 3, 3, 1])
+        assert find_runs_above_threshold(histogram, 2) == [(2, 4)]
+
+    def test_find_runs_all_below(self):
+        assert find_runs_above_threshold(np.zeros(5), 1) == []
+
+    def test_find_runs_all_above(self):
+        assert find_runs_above_threshold(np.ones(4), 1) == [(0, 4)]
+
+    def test_find_runs_requires_1d(self):
+        with pytest.raises(ValueError):
+            find_runs_above_threshold(np.zeros((2, 2)), 1)
+
+    @given(
+        hnp.arrays(dtype=np.int32, shape=st.integers(1, 60), elements=st.integers(0, 5)),
+        st.integers(1, 4),
+    )
+    def test_property_runs_cover_exactly_above_threshold_bins(self, histogram, threshold):
+        runs = find_runs_above_threshold(histogram, threshold)
+        covered = np.zeros(len(histogram), dtype=bool)
+        for start, end in runs:
+            assert start < end
+            covered[start:end] = True
+        np.testing.assert_array_equal(covered, histogram >= threshold)
+
+
+class TestHistogramRegionProposer:
+    def test_single_object_single_proposal(self):
+        proposer = HistogramRegionProposer()
+        frame = _frame_with_block(60, 60, 40, 20)
+        proposals = proposer.propose(frame)
+        assert len(proposals) == 1
+        box = proposals[0].box
+        assert box.x <= 60 and box.x2 >= 100
+        assert box.y <= 60 and box.y2 >= 80
+        assert proposals[0].event_count == 40 * 20
+
+    def test_boxes_quantised_to_downsample_grid(self):
+        proposer = HistogramRegionProposer(downsample_x=6, downsample_y=3)
+        proposals = proposer.propose(_frame_with_block(61, 61, 30, 15))
+        box = proposals[0].box
+        assert box.x % 6 == 0
+        assert box.y % 3 == 0
+
+    def test_two_separated_objects(self):
+        frame = _frame_with_block(20, 30, 30, 20) + _frame_with_block(150, 120, 40, 25)
+        proposals = HistogramRegionProposer().propose(frame)
+        assert len(proposals) == 2
+
+    def test_false_cross_regions_suppressed(self):
+        """Two objects sharing no X or Y range create 4 candidate crossings;
+        the two empty ones must be rejected by the image check."""
+        frame = _frame_with_block(20, 30, 30, 20) + _frame_with_block(150, 120, 40, 25)
+        proposals = HistogramRegionProposer(min_event_count=3).propose(frame)
+        for proposal in proposals:
+            assert proposal.event_count >= 3
+        assert len(proposals) == 2
+
+    def test_fragmented_object_merged_by_coarse_bins(self):
+        """Two nearby fragments of one vehicle merge into one proposal."""
+        frame = _frame_with_block(60, 60, 10, 20) + _frame_with_block(74, 60, 10, 20)
+        proposals = HistogramRegionProposer(downsample_x=6, downsample_y=3).propose(frame)
+        assert len(proposals) == 1
+        assert proposals[0].box.width >= 24
+
+    def test_empty_frame_no_proposals(self):
+        assert HistogramRegionProposer().propose(np.zeros((180, 240), dtype=np.uint8)) == []
+
+    def test_sparse_noise_no_proposals(self):
+        frame = np.zeros((180, 240), dtype=np.uint8)
+        frame[10, 10] = 1
+        frame[100, 200] = 1
+        proposals = HistogramRegionProposer(min_event_count=3).propose(frame)
+        assert proposals == []
+
+    def test_proposals_sorted_by_event_count(self):
+        frame = _frame_with_block(20, 30, 20, 10) + _frame_with_block(150, 120, 50, 40)
+        proposals = HistogramRegionProposer().propose(frame)
+        counts = [p.event_count for p in proposals]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_min_region_side_filters_thin_regions(self):
+        frame = _frame_with_block(60, 60, 40, 20)
+        proposer = HistogramRegionProposer(min_region_side_px=1000)
+        assert proposer.propose(frame) == []
+
+    def test_debug_histograms_shapes(self):
+        proposer = HistogramRegionProposer(downsample_x=6, downsample_y=3)
+        down, hist_x, hist_y = proposer.debug_histograms(
+            np.zeros((180, 240), dtype=np.uint8)
+        )
+        assert down.shape == (60, 40)
+        assert hist_x.shape == (40,)
+        assert hist_y.shape == (60,)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            HistogramRegionProposer(downsample_x=0)
+        with pytest.raises(ValueError):
+            HistogramRegionProposer(threshold=0)
+        with pytest.raises(ValueError):
+            HistogramRegionProposer(min_event_count=0)
+
+    def test_density_computed(self):
+        proposals = HistogramRegionProposer().propose(_frame_with_block(60, 60, 30, 15))
+        assert 0 < proposals[0].density <= 1.0
+
+    def test_proposal_to_dict(self):
+        proposal = HistogramRegionProposer().propose(_frame_with_block(60, 60, 30, 15))[0]
+        data = proposal.to_dict()
+        assert set(data) == {"x", "y", "width", "height", "event_count", "density"}

@@ -1,0 +1,121 @@
+"""Tests for the binary median (majority) filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.median_filter import binary_median_filter, count_salt_and_pepper
+
+
+def _naive_majority_filter(frame: np.ndarray, patch: int) -> np.ndarray:
+    """Straightforward O(N * p^2) reference implementation."""
+    half = patch // 2
+    height, width = frame.shape
+    padded = np.pad(frame, half, mode="constant")
+    out = np.zeros_like(frame, dtype=np.uint8)
+    majority = patch * patch // 2
+    for y in range(height):
+        for x in range(width):
+            total = padded[y : y + patch, x : x + patch].sum()
+            out[y, x] = 1 if total > majority else 0
+    return out
+
+
+class TestBinaryMedianFilter:
+    def test_isolated_pixel_removed(self):
+        frame = np.zeros((20, 20), dtype=np.uint8)
+        frame[10, 10] = 1
+        assert binary_median_filter(frame).sum() == 0
+
+    def test_solid_block_preserved(self):
+        frame = np.zeros((20, 20), dtype=np.uint8)
+        frame[5:15, 5:15] = 1
+        filtered = binary_median_filter(frame)
+        assert filtered[7:13, 7:13].all()
+        # Corners of the block get eroded (majority not reached) but the
+        # interior is intact.
+        assert filtered.sum() >= 8 * 8
+
+    def test_single_hole_filled(self):
+        frame = np.ones((11, 11), dtype=np.uint8)
+        frame[5, 5] = 0
+        assert binary_median_filter(frame)[5, 5] == 1
+
+    def test_patch_size_one_is_identity(self):
+        frame = (np.arange(25).reshape(5, 5) % 2).astype(np.uint8)
+        np.testing.assert_array_equal(binary_median_filter(frame, 1), frame)
+
+    def test_non_binary_input_thresholded(self):
+        frame = np.zeros((10, 10), dtype=np.int32)
+        frame[3:8, 3:8] = 7
+        filtered = binary_median_filter(frame)
+        assert filtered.max() == 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            binary_median_filter(np.zeros((3, 3, 3)))
+        with pytest.raises(ValueError):
+            binary_median_filter(np.zeros((5, 5)), patch_size=2)
+        with pytest.raises(ValueError):
+            binary_median_filter(np.zeros((5, 5)), patch_size=0)
+
+    def test_matches_naive_implementation_small_cases(self, rng):
+        for _ in range(5):
+            frame = (rng.random((16, 24)) < 0.3).astype(np.uint8)
+            np.testing.assert_array_equal(
+                binary_median_filter(frame, 3), _naive_majority_filter(frame, 3)
+            )
+
+    def test_matches_naive_implementation_patch5(self, rng):
+        frame = (rng.random((20, 20)) < 0.4).astype(np.uint8)
+        np.testing.assert_array_equal(
+            binary_median_filter(frame, 5), _naive_majority_filter(frame, 5)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.uint8,
+            shape=st.tuples(st.integers(3, 24), st.integers(3, 24)),
+            elements=st.integers(0, 1),
+        )
+    )
+    def test_property_matches_naive(self, frame):
+        np.testing.assert_array_equal(
+            binary_median_filter(frame, 3), _naive_majority_filter(frame, 3)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.uint8,
+            shape=st.tuples(st.integers(3, 20), st.integers(3, 20)),
+            elements=st.integers(0, 1),
+        )
+    )
+    def test_property_output_is_binary_and_idempotent_on_solid(self, frame):
+        filtered = binary_median_filter(frame, 3)
+        assert set(np.unique(filtered)).issubset({0, 1})
+        # All-zero input stays all zero; all-one input stays mostly one.
+        if frame.sum() == 0:
+            assert filtered.sum() == 0
+
+
+class TestSaltAndPepperCounter:
+    def test_counts_isolated_pixels(self):
+        clean = np.zeros((30, 30), dtype=np.uint8)
+        clean[10:14, 10:14] = 1
+        noisy = clean.copy()
+        noisy[5, 5] = 1
+        noisy[20, 20] = 1
+        # The two isolated pixels add exactly two salt-and-pepper counts on
+        # top of whatever block-corner erosion the clean frame already has.
+        assert count_salt_and_pepper(noisy) == count_salt_and_pepper(clean) + 2
+
+    def test_zero_for_clean_frame(self):
+        frame = np.zeros((10, 10), dtype=np.uint8)
+        frame[2:8, 2:8] = 1
+        assert count_salt_and_pepper(frame) <= 4  # only block corners may count

@@ -1,0 +1,118 @@
+"""Tests for the end-to-end EBBIOT pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EbbiotConfig, EbbiotPipeline
+from repro.events.stream import EventStream
+from repro.events.types import empty_packet
+from repro.utils.geometry import BoundingBox
+
+
+class TestPipelineOnSyntheticSquare:
+    def test_tracks_constant_velocity_square(self, constant_velocity_stream):
+        pipeline = EbbiotPipeline(EbbiotConfig(min_proposal_area=4.0))
+        result = pipeline.process_stream(constant_velocity_stream)
+        assert result.num_frames > 20
+        # The square is detected in (almost) every frame after confirmation.
+        frames_with_track = sum(1 for frame in result.frames if frame.tracks)
+        assert frames_with_track >= result.num_frames - 5
+        # A single stable track id is used throughout.
+        assert len(result.track_history.track_ids()) == 1
+
+    def test_track_positions_follow_object(self, constant_velocity_stream):
+        pipeline = EbbiotPipeline(EbbiotConfig(min_proposal_area=4.0))
+        result = pipeline.process_stream(constant_velocity_stream)
+        observations = result.track_history.observations
+        xs = [o.box.x for o in observations]
+        # Object moves right at 2 px / 33 ms = ~4 px per 66 ms frame.
+        assert xs[-1] > xs[0] + 50
+
+    def test_statistics_populated(self, constant_velocity_stream):
+        pipeline = EbbiotPipeline(EbbiotConfig(min_proposal_area=4.0))
+        result = pipeline.process_stream(constant_velocity_stream)
+        assert 0 < result.mean_active_pixel_fraction < 0.05
+        assert result.mean_events_per_frame > 0
+        assert 0 < result.mean_active_trackers <= 2
+
+
+class TestPipelineOnSimulatedScene:
+    def test_single_car_scene_tracked(self, single_car_stream):
+        pipeline = EbbiotPipeline(EbbiotConfig())
+        result = pipeline.process_stream(single_car_stream.stream)
+        assert result.total_track_observations() > 10
+        # Noise alone never creates more trackers than objects + a small margin.
+        assert len(result.track_history.track_ids()) <= 3
+
+    def test_keep_frames_flag(self, single_car_stream):
+        pipeline = EbbiotPipeline(EbbiotConfig(), keep_frames=True)
+        result = pipeline.process_stream(single_car_stream.stream)
+        assert result.frames[0].ebbi is not None
+        pipeline_no_frames = EbbiotPipeline(EbbiotConfig(), keep_frames=False)
+        result_no_frames = pipeline_no_frames.process_stream(single_car_stream.stream)
+        assert result_no_frames.frames[0].ebbi is None
+
+    def test_roe_suppresses_distractor_tracks(self, small_geometry):
+        """With an ROE over a foliage distractor, no tracks appear inside it."""
+        from repro.events.noise import BackgroundActivityNoise
+        from repro.simulation.event_generator import FoliageDistractor
+        from repro.simulation.scene import Scene, SceneConfig
+
+        region = BoundingBox(0, 130, 60, 50)
+        config = SceneConfig(
+            geometry=small_geometry,
+            noise=BackgroundActivityNoise(rate_hz_per_pixel=0.2),
+            distractors=[FoliageDistractor(region, events_per_pixel_per_s=4.0)],
+            seed=13,
+        )
+        scene = Scene(config)
+        rendered = scene.render(duration_us=3_000_000)
+
+        with_roe = EbbiotPipeline(EbbiotConfig(roe_boxes=scene.roe_boxes()))
+        result_with = with_roe.process_stream(rendered.stream)
+        without_roe = EbbiotPipeline(EbbiotConfig())
+        result_without = without_roe.process_stream(rendered.stream)
+
+        def tracks_in_region(result):
+            return sum(
+                1
+                for o in result.track_history.observations
+                if region.intersection_area(o.box) > 0.5 * o.box.area
+            )
+
+        assert tracks_in_region(result_without) > 0
+        assert tracks_in_region(result_with) == 0
+
+
+class TestPipelineMechanics:
+    def test_empty_stream(self):
+        pipeline = EbbiotPipeline(EbbiotConfig())
+        result = pipeline.process_stream(EventStream(empty_packet(), 240, 180))
+        assert result.num_frames == 0
+        assert result.total_track_observations() == 0
+
+    def test_iter_stream_matches_process_stream_frame_count(self, constant_velocity_stream):
+        pipeline = EbbiotPipeline(EbbiotConfig())
+        lazy_frames = list(pipeline.iter_stream(constant_velocity_stream))
+        pipeline.reset()
+        eager = pipeline.process_stream(constant_velocity_stream)
+        assert len(lazy_frames) == eager.num_frames
+
+    def test_process_stream_resets_state(self, constant_velocity_stream):
+        pipeline = EbbiotPipeline(EbbiotConfig())
+        first = pipeline.process_stream(constant_velocity_stream)
+        second = pipeline.process_stream(constant_velocity_stream)
+        assert first.num_frames == second.num_frames
+        assert first.total_track_observations() == second.total_track_observations()
+
+    def test_frame_result_midpoint(self, constant_velocity_stream):
+        pipeline = EbbiotPipeline(EbbiotConfig())
+        result = pipeline.process_stream(constant_velocity_stream)
+        frame = result.frames[0]
+        assert frame.t_mid_us == (frame.t_start_us + frame.t_end_us) // 2
+
+    def test_min_proposal_area_filters_noise(self, constant_velocity_stream):
+        strict = EbbiotPipeline(EbbiotConfig(min_proposal_area=10_000.0))
+        result = strict.process_stream(constant_velocity_stream)
+        assert result.total_proposals() == 0

@@ -1,0 +1,76 @@
+"""Tests for regions of exclusion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.histogram_rpn import RegionProposal
+from repro.core.roe import RegionOfExclusion
+from repro.utils.geometry import BoundingBox
+
+
+def _proposal(x, y, w, h):
+    return RegionProposal(box=BoundingBox(x, y, w, h), event_count=10, density=0.1)
+
+
+class TestRegionOfExclusion:
+    def test_excluded_fraction(self):
+        roe = RegionOfExclusion(boxes=[BoundingBox(0, 0, 10, 10)])
+        assert roe.excluded_fraction(BoundingBox(0, 0, 10, 10)) == pytest.approx(1.0)
+        assert roe.excluded_fraction(BoundingBox(5, 0, 10, 10)) == pytest.approx(0.5)
+        assert roe.excluded_fraction(BoundingBox(20, 20, 5, 5)) == 0.0
+
+    def test_is_excluded_threshold(self):
+        roe = RegionOfExclusion(boxes=[BoundingBox(0, 0, 10, 10)], max_overlap_fraction=0.5)
+        assert roe.is_excluded(BoundingBox(0, 0, 8, 8))
+        assert not roe.is_excluded(BoundingBox(5, 5, 10, 10))
+
+    def test_filter_proposals(self):
+        roe = RegionOfExclusion(boxes=[BoundingBox(0, 140, 60, 40)])
+        proposals = [_proposal(10, 150, 20, 20), _proposal(100, 60, 30, 20)]
+        kept = roe.filter_proposals(proposals)
+        assert len(kept) == 1
+        assert kept[0].box.x == 100
+
+    def test_empty_roe_keeps_everything(self):
+        roe = RegionOfExclusion()
+        proposals = [_proposal(10, 10, 5, 5)]
+        assert roe.filter_proposals(proposals) == proposals
+        assert roe.excluded_fraction(BoundingBox(0, 0, 5, 5)) == 0.0
+
+    def test_add_box(self):
+        roe = RegionOfExclusion()
+        roe.add(BoundingBox(0, 0, 5, 5))
+        assert len(roe) == 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            RegionOfExclusion(max_overlap_fraction=1.5)
+
+    def test_mask_and_apply(self):
+        roe = RegionOfExclusion(boxes=[BoundingBox(2, 3, 4, 5)])
+        mask = roe.mask(20, 20)
+        assert mask[3:8, 2:6].all()
+        assert mask.sum() == 4 * 5
+        frame = np.ones((20, 20), dtype=np.uint8)
+        cleaned = roe.apply_to_frame(frame)
+        assert cleaned[3:8, 2:6].sum() == 0
+        assert cleaned.sum() == 400 - 20
+        # The input frame is not modified.
+        assert frame.sum() == 400
+
+    def test_mask_clips_to_frame(self):
+        roe = RegionOfExclusion(boxes=[BoundingBox(-5, -5, 10, 10)])
+        mask = roe.mask(20, 20)
+        assert mask[0:5, 0:5].all()
+        assert mask.sum() == 25
+
+    def test_from_tuples(self):
+        roe = RegionOfExclusion.from_tuples([(0, 0, 5, 5), (10, 10, 2, 2)])
+        assert len(roe) == 2
+        assert roe.boxes[1] == BoundingBox(10, 10, 2, 2)
+
+    def test_zero_area_box_query(self):
+        roe = RegionOfExclusion(boxes=[BoundingBox(0, 0, 10, 10)])
+        assert roe.excluded_fraction(BoundingBox(1, 1, 0, 0)) == 0.0

@@ -1,0 +1,99 @@
+"""Tests for the synthetic Table I datasets and annotation containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.annotations import RecordingAnnotations
+from repro.datasets.synthetic import (
+    ENG_LIKE_SPEC,
+    LT4_LIKE_SPEC,
+    build_recording,
+    build_table1_datasets,
+)
+from repro.simulation.ground_truth import GroundTruthBox, GroundTruthFrame
+from repro.utils.geometry import BoundingBox
+
+
+class TestDatasetSpecs:
+    def test_specs_match_table1_structure(self):
+        assert ENG_LIKE_SPEC.lens_focal_length_mm == 12.0
+        assert LT4_LIKE_SPEC.lens_focal_length_mm == 6.0
+        assert ENG_LIKE_SPEC.paper_duration_s == pytest.approx(2998.4)
+        assert LT4_LIKE_SPEC.paper_duration_s == pytest.approx(999.5)
+        assert ENG_LIKE_SPEC.paper_num_events == pytest.approx(107.5e6)
+        assert LT4_LIKE_SPEC.paper_num_events == pytest.approx(12.5e6)
+
+    def test_eng_denser_than_lt4(self):
+        assert ENG_LIKE_SPEC.arrival_rate_per_s > LT4_LIKE_SPEC.arrival_rate_per_s
+        assert ENG_LIKE_SPEC.noise_rate_hz_per_pixel > LT4_LIKE_SPEC.noise_rate_hz_per_pixel
+
+
+class TestBuildRecording:
+    def test_short_recording_has_events_and_annotations(self):
+        recording = build_recording(LT4_LIKE_SPEC, duration_override_s=5.0)
+        assert recording.name == "LT4"
+        assert recording.result.num_events > 0
+        assert len(recording.annotations) > 0
+        assert recording.annotations.annotation_interval_us == 66_000
+
+    def test_duration_override(self):
+        recording = build_recording(LT4_LIKE_SPEC, duration_override_s=3.0)
+        assert recording.result.duration_s <= 3.1
+
+    def test_table1_row_fields(self):
+        recording = build_recording(LT4_LIKE_SPEC, duration_override_s=3.0)
+        row = recording.table1_row()
+        assert row["location"] == "LT4"
+        assert row["lens_mm"] == 6.0
+        assert row["paper_num_events"] == pytest.approx(12.5e6)
+        assert row["simulated_num_events"] > 0
+        assert row["extrapolated_num_events"] == pytest.approx(
+            row["event_rate_per_s"] * LT4_LIKE_SPEC.paper_duration_s
+        )
+
+    def test_deterministic(self):
+        first = build_recording(LT4_LIKE_SPEC, duration_override_s=3.0)
+        second = build_recording(LT4_LIKE_SPEC, duration_override_s=3.0)
+        assert first.result.num_events == second.result.num_events
+
+    def test_build_table1_datasets(self):
+        recordings = build_table1_datasets(duration_override_s=2.0)
+        assert [r.name for r in recordings] == ["ENG", "LT4"]
+
+    def test_eng_recording_includes_foliage_roe(self):
+        recording = build_recording(ENG_LIKE_SPEC, duration_override_s=2.0)
+        assert ENG_LIKE_SPEC.include_foliage
+        assert recording.result.config.distractors
+
+
+class TestRecordingAnnotations:
+    def _annotations(self):
+        frames = [
+            GroundTruthFrame(
+                t_us=33_000,
+                boxes=[
+                    GroundTruthBox(0, "car", BoundingBox(10, 10, 30, 20)),
+                    GroundTruthBox(1, "bus", BoundingBox(100, 50, 80, 30)),
+                ],
+            ),
+            GroundTruthFrame(
+                t_us=99_000,
+                boxes=[GroundTruthBox(0, "car", BoundingBox(15, 10, 30, 20))],
+            ),
+        ]
+        return RecordingAnnotations(frames=frames)
+
+    def test_counts(self):
+        annotations = self._annotations()
+        assert len(annotations) == 2
+        assert annotations.num_tracks() == 2
+        assert annotations.num_boxes() == 3
+        assert annotations.boxes_per_class() == {"car": 2, "bus": 1}
+
+    def test_round_trip(self):
+        annotations = self._annotations()
+        restored = RecordingAnnotations.from_dict(annotations.to_dict())
+        assert restored.num_tracks() == 2
+        assert restored.num_boxes() == 3
+        assert restored.frames[0].boxes[1].object_class == "bus"

@@ -1,0 +1,74 @@
+"""Tests for per-frame IoU matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.matching import match_frame, match_observations
+from repro.simulation.ground_truth import GroundTruthBox
+from repro.trackers.base import TrackObservation
+from repro.utils.geometry import BoundingBox
+
+
+def box(x, y, w=20, h=20):
+    return BoundingBox(x, y, w, h)
+
+
+class TestMatchFrame:
+    def test_perfect_match(self):
+        result = match_frame([box(10, 10)], [box(10, 10)], iou_threshold=0.5)
+        assert result.num_true_positives == 1
+        assert result.num_false_positives == 0
+        assert result.num_false_negatives == 0
+
+    def test_below_threshold_not_counted(self):
+        result = match_frame([box(10, 10)], [box(25, 10)], iou_threshold=0.5)
+        assert result.num_true_positives == 0
+        assert result.num_false_positives == 1
+        assert result.num_false_negatives == 1
+        # The pair still appears in matched_pairs for diagnostics.
+        assert len(result.matched_pairs) == 1
+
+    def test_missed_ground_truth(self):
+        result = match_frame([box(10, 10)], [box(10, 10), box(100, 100)], 0.5)
+        assert result.num_true_positives == 1
+        assert result.num_false_negatives == 1
+
+    def test_spurious_tracker_box(self):
+        result = match_frame([box(10, 10), box(200, 100)], [box(10, 10)], 0.5)
+        assert result.num_true_positives == 1
+        assert result.num_false_positives == 1
+
+    def test_empty_inputs(self):
+        result = match_frame([], [], 0.5)
+        assert result.num_true_positives == 0
+        empty_tracker = match_frame([], [box(0, 0)], 0.5)
+        assert empty_tracker.num_false_negatives == 1
+        empty_gt = match_frame([box(0, 0)], [], 0.5)
+        assert empty_gt.num_false_positives == 1
+
+    def test_one_to_one_assignment(self):
+        """Two tracker boxes cannot both claim the same ground-truth box."""
+        result = match_frame([box(10, 10), box(12, 10)], [box(10, 10)], 0.3)
+        assert result.num_true_positives == 1
+        assert result.num_false_positives == 1
+
+    def test_optimal_assignment_on_crossover(self):
+        trackers = [box(0, 0, 30, 30), box(12, 0, 30, 30)]
+        ground_truth = [box(6, 0, 30, 30), box(20, 0, 30, 30)]
+        result = match_frame(trackers, ground_truth, iou_threshold=0.3)
+        assert result.num_true_positives == 2
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            match_frame([], [], iou_threshold=0.0)
+        with pytest.raises(ValueError):
+            match_frame([], [], iou_threshold=1.1)
+
+
+class TestMatchObservations:
+    def test_wrapper_matches_raw_boxes(self):
+        observations = [TrackObservation(track_id=1, box=box(10, 10), t_us=0)]
+        ground_truth = [GroundTruthBox(track_id=5, object_class="car", box=box(10, 10))]
+        result = match_observations(observations, ground_truth, 0.5)
+        assert result.num_true_positives == 1

@@ -1,0 +1,143 @@
+"""Tests for precision/recall evaluation and weighted aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.precision_recall import (
+    PrecisionRecall,
+    evaluate_recording,
+    sweep_iou_thresholds,
+    weighted_average,
+)
+from repro.simulation.ground_truth import GroundTruthBox, GroundTruthFrame
+from repro.trackers.base import TrackObservation
+from repro.utils.geometry import BoundingBox
+
+
+def gt_frame(t_us, boxes):
+    return GroundTruthFrame(
+        t_us=t_us,
+        boxes=[
+            GroundTruthBox(track_id=i, object_class="car", box=b)
+            for i, b in enumerate(boxes)
+        ],
+    )
+
+
+def observation(t_us, box, track_id=1):
+    return TrackObservation(track_id=track_id, box=box, t_us=t_us)
+
+
+class TestEvaluateRecording:
+    def test_perfect_tracker(self):
+        ground_truth = [
+            gt_frame(33_000, [BoundingBox(10, 10, 20, 20)]),
+            gt_frame(99_000, [BoundingBox(14, 10, 20, 20)]),
+        ]
+        observations = [
+            observation(33_000, BoundingBox(10, 10, 20, 20)),
+            observation(99_000, BoundingBox(14, 10, 20, 20)),
+        ]
+        evaluation = evaluate_recording(observations, ground_truth, iou_thresholds=(0.5,))
+        result = evaluation.by_threshold[0.5]
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.f1 == 1.0
+
+    def test_no_tracker_output(self):
+        ground_truth = [gt_frame(33_000, [BoundingBox(10, 10, 20, 20)])]
+        evaluation = evaluate_recording([], ground_truth, iou_thresholds=(0.5,))
+        result = evaluation.by_threshold[0.5]
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+        assert result.f1 == 0.0
+
+    def test_spurious_boxes_hurt_precision_only(self):
+        ground_truth = [gt_frame(33_000, [BoundingBox(10, 10, 20, 20)])]
+        observations = [
+            observation(33_000, BoundingBox(10, 10, 20, 20), track_id=1),
+            observation(33_000, BoundingBox(150, 100, 20, 20), track_id=2),
+        ]
+        evaluation = evaluate_recording(observations, ground_truth, iou_thresholds=(0.5,))
+        result = evaluation.by_threshold[0.5]
+        assert result.precision == pytest.approx(0.5)
+        assert result.recall == pytest.approx(1.0)
+
+    def test_precision_and_recall_fall_with_threshold(self):
+        """A slightly offset tracker passes low thresholds but fails high ones."""
+        ground_truth = [gt_frame(33_000, [BoundingBox(10, 10, 20, 20)])]
+        observations = [observation(33_000, BoundingBox(14, 12, 20, 20))]
+        evaluation = evaluate_recording(
+            observations, ground_truth, iou_thresholds=(0.1, 0.3, 0.5, 0.7)
+        )
+        precisions = evaluation.precision_series()
+        assert precisions[0] == 1.0
+        assert precisions[-1] == 0.0
+        assert all(a >= b for a, b in zip(precisions, precisions[1:]))
+
+    def test_alignment_tolerance(self):
+        """Tracker reports slightly offset in time still match the GT instant."""
+        ground_truth = [gt_frame(33_000, [BoundingBox(10, 10, 20, 20)])]
+        observations = [observation(40_000, BoundingBox(10, 10, 20, 20))]
+        evaluation = evaluate_recording(
+            observations, ground_truth, iou_thresholds=(0.5,), alignment_tolerance_us=20_000
+        )
+        assert evaluation.by_threshold[0.5].recall == 1.0
+        strict = evaluate_recording(
+            observations, ground_truth, iou_thresholds=(0.5,), alignment_tolerance_us=1_000
+        )
+        assert strict.by_threshold[0.5].recall == 0.0
+
+    def test_num_ground_truth_tracks(self):
+        ground_truth = [
+            gt_frame(33_000, [BoundingBox(10, 10, 20, 20), BoundingBox(60, 60, 20, 20)]),
+            gt_frame(99_000, [BoundingBox(14, 10, 20, 20)]),
+        ]
+        evaluation = evaluate_recording([], ground_truth, iou_thresholds=(0.5,))
+        assert evaluation.num_ground_truth_tracks == 2
+
+    def test_threshold_series_accessors(self):
+        ground_truth = [gt_frame(33_000, [BoundingBox(10, 10, 20, 20)])]
+        evaluation = evaluate_recording([], ground_truth, iou_thresholds=(0.3, 0.1, 0.5))
+        assert evaluation.thresholds() == [0.1, 0.3, 0.5]
+        assert len(evaluation.precision_series()) == 3
+        assert len(evaluation.recall_series()) == 3
+
+
+class TestWeightedAverage:
+    def test_weights_applied(self):
+        a = PrecisionRecall(1.0, 1.0, 10, 10, 10)
+        b = PrecisionRecall(0.0, 0.0, 0, 10, 10)
+        combined = weighted_average([a, b], [3, 1])
+        assert combined.precision == pytest.approx(0.75)
+        assert combined.recall == pytest.approx(0.75)
+        assert combined.true_positives == 10
+        assert combined.total_tracker_boxes == 20
+
+    def test_errors(self):
+        a = PrecisionRecall(1.0, 1.0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            weighted_average([a], [1, 2])
+        with pytest.raises(ValueError):
+            weighted_average([], [])
+        with pytest.raises(ValueError):
+            weighted_average([a], [0])
+
+    def test_sweep_combines_recordings(self):
+        ground_truth_a = [gt_frame(33_000, [BoundingBox(10, 10, 20, 20)])]
+        ground_truth_b = [gt_frame(33_000, [BoundingBox(10, 10, 20, 20)])]
+        eval_a = evaluate_recording(
+            [observation(33_000, BoundingBox(10, 10, 20, 20))],
+            ground_truth_a,
+            iou_thresholds=(0.5,),
+            name="a",
+        )
+        eval_b = evaluate_recording([], ground_truth_b, iou_thresholds=(0.5,), name="b")
+        combined = sweep_iou_thresholds([eval_a, eval_b])
+        # Both recordings have one GT track, so the weights are equal.
+        assert combined[0.5].precision == pytest.approx(0.5)
+        assert combined[0.5].recall == pytest.approx(0.5)
+
+    def test_sweep_empty(self):
+        assert sweep_iou_thresholds([]) == {}

@@ -1,0 +1,93 @@
+"""Tests for event stream / recording IO."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events.io import (
+    load_events_csv,
+    load_events_npz,
+    load_recording,
+    save_events_csv,
+    save_events_npz,
+    save_recording,
+)
+from repro.events.stream import EventStream
+from repro.events.types import empty_packet, make_packet
+
+
+@pytest.fixture
+def sample_stream() -> EventStream:
+    packet = make_packet(
+        [0, 10, 239, 100], [0, 20, 179, 90], [0, 1000, 2000, 3000], [1, -1, 1, -1]
+    )
+    return EventStream(packet, 240, 180)
+
+
+class TestNpzRoundTrip:
+    def test_round_trip(self, tmp_path, sample_stream):
+        path = tmp_path / "events.npz"
+        save_events_npz(path, sample_stream)
+        loaded = load_events_npz(path)
+        assert loaded.resolution == (240, 180)
+        np.testing.assert_array_equal(loaded.events, sample_stream.events)
+
+    def test_empty_stream_round_trip(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_events_npz(path, EventStream(empty_packet(), 240, 180))
+        loaded = load_events_npz(path)
+        assert len(loaded) == 0
+
+    def test_missing_keys_raises(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(ValueError, match="missing keys"):
+            load_events_npz(path)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path, sample_stream):
+        path = tmp_path / "events.csv"
+        save_events_csv(path, sample_stream)
+        loaded = load_events_csv(path)
+        assert loaded.resolution == (240, 180)
+        np.testing.assert_array_equal(loaded.events["x"], sample_stream.events["x"])
+        np.testing.assert_array_equal(loaded.events["t"], sample_stream.events["t"])
+
+    def test_explicit_resolution_overrides_header(self, tmp_path, sample_stream):
+        path = tmp_path / "events.csv"
+        save_events_csv(path, sample_stream)
+        loaded = load_events_csv(path, width=480, height=360)
+        assert loaded.resolution == (480, 360)
+
+    def test_missing_header_requires_resolution(self, tmp_path):
+        path = tmp_path / "noheader.csv"
+        path.write_text("x,y,t,p\n1,2,3,1\n")
+        with pytest.raises(ValueError, match="resolution"):
+            load_events_csv(path)
+
+    def test_empty_csv_round_trip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_events_csv(path, EventStream(empty_packet(), 240, 180))
+        loaded = load_events_csv(path)
+        assert len(loaded) == 0
+
+
+class TestRecordingRoundTrip:
+    def test_round_trip_with_annotations_and_metadata(self, tmp_path, sample_stream):
+        path = tmp_path / "recording.npz"
+        annotations = {"frames": [{"t_us": 0, "boxes": []}]}
+        metadata = {"location": "ENG", "lens_mm": 12}
+        save_recording(path, sample_stream, annotations, metadata)
+        loaded = load_recording(path)
+        assert loaded["metadata"]["location"] == "ENG"
+        assert loaded["annotations"]["frames"][0]["t_us"] == 0
+        assert len(loaded["stream"]) == len(sample_stream)
+
+    def test_defaults_to_empty_dicts(self, tmp_path, sample_stream):
+        path = tmp_path / "recording.npz"
+        save_recording(path, sample_stream)
+        loaded = load_recording(path)
+        assert loaded["annotations"] == {}
+        assert loaded["metadata"] == {}

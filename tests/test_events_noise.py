@@ -1,0 +1,79 @@
+"""Tests for the sensor noise models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events.noise import BackgroundActivityNoise, HotPixelNoise
+from repro.events.types import is_time_sorted
+
+
+class TestBackgroundActivityNoise:
+    def test_expected_event_count(self, rng):
+        noise = BackgroundActivityNoise(rate_hz_per_pixel=1.0)
+        expected = noise.expected_events(240, 180, 1_000_000)
+        assert expected == pytest.approx(240 * 180)
+
+    def test_generated_count_close_to_expectation(self, rng):
+        noise = BackgroundActivityNoise(rate_hz_per_pixel=0.5)
+        packet = noise.generate(240, 180, 0, 1_000_000, rng)
+        expected = noise.expected_events(240, 180, 1_000_000)
+        assert abs(len(packet) - expected) < 5 * np.sqrt(expected)
+
+    def test_events_within_bounds_and_sorted(self, rng):
+        noise = BackgroundActivityNoise(rate_hz_per_pixel=1.0)
+        packet = noise.generate(100, 50, 1000, 2000, rng)
+        assert packet["x"].min() >= 0 and packet["x"].max() < 100
+        assert packet["y"].min() >= 0 and packet["y"].max() < 50
+        assert packet["t"].min() >= 1000 and packet["t"].max() < 2000
+        assert is_time_sorted(packet)
+
+    def test_zero_rate_produces_nothing(self, rng):
+        noise = BackgroundActivityNoise(rate_hz_per_pixel=0.0)
+        assert len(noise.generate(240, 180, 0, 1_000_000, rng)) == 0
+
+    def test_zero_duration_produces_nothing(self, rng):
+        noise = BackgroundActivityNoise(rate_hz_per_pixel=1.0)
+        assert len(noise.generate(240, 180, 100, 100, rng)) == 0
+
+    def test_on_fraction_respected(self, rng):
+        noise = BackgroundActivityNoise(rate_hz_per_pixel=2.0, on_fraction=1.0)
+        packet = noise.generate(240, 180, 0, 500_000, rng)
+        assert np.all(packet["p"] == 1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BackgroundActivityNoise(rate_hz_per_pixel=-1)
+        with pytest.raises(ValueError):
+            BackgroundActivityNoise(on_fraction=2.0)
+
+
+class TestHotPixelNoise:
+    def test_positions_are_stable(self, rng):
+        noise = HotPixelNoise(num_hot_pixels=5, seed=3)
+        first = noise.positions(240, 180)
+        second = noise.positions(240, 180)
+        np.testing.assert_array_equal(first, second)
+        assert first.shape == (5, 2)
+
+    def test_events_only_at_hot_pixels(self, rng):
+        noise = HotPixelNoise(num_hot_pixels=3, rate_hz=200.0, seed=1)
+        packet = noise.generate(240, 180, 0, 1_000_000, rng)
+        positions = {tuple(p) for p in noise.positions(240, 180)}
+        observed = {(int(x), int(y)) for x, y in zip(packet["x"], packet["y"])}
+        assert observed.issubset(positions)
+
+    def test_rate_scales_event_count(self, rng):
+        slow = HotPixelNoise(num_hot_pixels=5, rate_hz=10.0, seed=2)
+        fast = HotPixelNoise(num_hot_pixels=5, rate_hz=1000.0, seed=2)
+        slow_count = len(slow.generate(240, 180, 0, 1_000_000, rng))
+        fast_count = len(fast.generate(240, 180, 0, 1_000_000, rng))
+        assert fast_count > slow_count * 10
+
+    def test_zero_pixels_or_rate(self, rng):
+        assert len(HotPixelNoise(num_hot_pixels=0).generate(240, 180, 0, 1000, rng)) == 0
+        assert (
+            len(HotPixelNoise(num_hot_pixels=5, rate_hz=0.0).generate(240, 180, 0, 1000, rng))
+            == 0
+        )

@@ -1,0 +1,142 @@
+"""Tests for EventStream and frame windowing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.events.stream import EventStream, frame_windows
+from repro.events.types import empty_packet, make_packet
+
+
+def _packet_spanning(duration_us: int, count: int):
+    """Evenly spaced events over a duration."""
+    ts = np.linspace(0, duration_us, count, endpoint=False).astype(np.int64)
+    return make_packet(
+        np.arange(count) % 240, np.arange(count) % 180, ts, np.ones(count, dtype=int)
+    )
+
+
+class TestFrameWindows:
+    def test_every_event_in_exactly_one_window(self):
+        packet = _packet_spanning(1_000_000, 100)
+        windows = list(frame_windows(packet, 66_000))
+        total = sum(len(events) for _, _, events in windows)
+        assert total == 100
+
+    def test_windows_are_contiguous(self):
+        packet = _packet_spanning(500_000, 50)
+        windows = list(frame_windows(packet, 66_000))
+        for (s1, e1, _), (s2, e2, _) in zip(windows, windows[1:]):
+            assert e1 == s2
+            assert e1 - s1 == 66_000
+
+    def test_empty_windows_are_yielded(self):
+        packet = make_packet([1, 2], [1, 2], [0, 200_000], [1, 1])
+        windows = list(frame_windows(packet, 66_000))
+        lengths = [len(events) for _, _, events in windows]
+        assert lengths[0] == 1
+        assert 0 in lengths[1:-1] or lengths[1] == 0
+
+    def test_empty_events_with_no_bounds(self):
+        assert list(frame_windows(empty_packet(), 66_000)) == []
+
+    def test_explicit_bounds(self):
+        windows = list(frame_windows(empty_packet(), 100, t_start=0, t_end=350))
+        assert len(windows) == 4
+        assert windows[0][0] == 0
+        assert windows[-1][1] == 400
+
+    def test_invalid_duration_raises(self):
+        with pytest.raises(ValueError):
+            list(frame_windows(empty_packet(), 0, t_start=0, t_end=100))
+
+
+class TestEventStream:
+    def test_sorts_unsorted_input(self):
+        packet = make_packet([1, 2], [1, 2], [200, 100], [1, 1])
+        stream = EventStream(packet, 240, 180)
+        assert list(stream.events["t"]) == [100, 200]
+
+    def test_rejects_out_of_bounds(self):
+        packet = make_packet([999], [0], [0], [1])
+        with pytest.raises(ValueError):
+            EventStream(packet, 240, 180)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            EventStream(np.zeros(4), 240, 180)
+
+    def test_duration_and_rate(self):
+        stream = EventStream(_packet_spanning(2_000_000, 200), 240, 180)
+        assert stream.duration_s == pytest.approx(2.0, rel=0.01)
+        assert stream.mean_event_rate == pytest.approx(100.0, rel=0.05)
+
+    def test_empty_stream_properties(self):
+        stream = EventStream(empty_packet(), 240, 180)
+        assert stream.duration_us == 0
+        assert stream.mean_event_rate == 0.0
+        assert stream.num_frames(66_000) == 0
+
+    def test_time_slice(self):
+        stream = EventStream(_packet_spanning(1_000_000, 100), 240, 180)
+        sliced = stream.time_slice(0, 500_000)
+        assert len(sliced) == 50
+
+    def test_iter_frames_align_to_zero(self):
+        packet = make_packet([1], [1], [150_000], [1])
+        stream = EventStream(packet, 240, 180)
+        aligned = list(stream.iter_frames(66_000, align_to_zero=True))
+        assert aligned[0][0] == 0
+        unaligned = list(stream.iter_frames(66_000, align_to_zero=False))
+        assert unaligned[0][0] == 150_000
+
+    def test_merged_with(self):
+        a = EventStream(make_packet([1], [1], [100], [1]), 240, 180)
+        b = EventStream(make_packet([2], [2], [50], [1]), 240, 180)
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+        assert list(merged.events["t"]) == [50, 100]
+
+    def test_merged_with_mismatched_resolution_raises(self):
+        a = EventStream(empty_packet(), 240, 180)
+        b = EventStream(empty_packet(), 128, 128)
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+    def test_filtered_by_mask(self):
+        stream = EventStream(_packet_spanning(100_000, 10), 240, 180)
+        mask = np.zeros(10, dtype=bool)
+        mask[::2] = True
+        assert len(stream.filtered(mask)) == 5
+
+    def test_filtered_wrong_mask_length(self):
+        stream = EventStream(_packet_spanning(100_000, 10), 240, 180)
+        with pytest.raises(ValueError):
+            stream.filtered(np.zeros(3, dtype=bool))
+
+    def test_split_preserves_events(self):
+        stream = EventStream(_packet_spanning(1_000_000, 100), 240, 180)
+        parts = stream.split(4)
+        assert len(parts) == 4
+        assert sum(len(p) for p in parts) == 100
+
+    def test_split_invalid(self):
+        stream = EventStream(empty_packet(), 240, 180)
+        with pytest.raises(ValueError):
+            stream.split(0)
+
+
+class TestStreamProperties:
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=10_000, max_value=200_000),
+    )
+    def test_frame_partition_is_lossless(self, count, frame_duration):
+        stream = EventStream(_packet_spanning(1_000_000, count), 240, 180)
+        windows = list(stream.iter_frames(frame_duration, align_to_zero=True))
+        assert sum(len(w[2]) for w in windows) == count
+        # Windows tile the time axis without gaps.
+        for (s1, e1, _), (s2, _, _) in zip(windows, windows[1:]):
+            assert e1 == s2

@@ -1,0 +1,128 @@
+"""Tests for event packets and the EventPacket wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.events.types import (
+    EVENT_DTYPE,
+    EventPacket,
+    concatenate_packets,
+    empty_packet,
+    is_time_sorted,
+    make_packet,
+    validate_packet,
+)
+
+
+class TestMakePacket:
+    def test_round_trip_fields(self):
+        packet = make_packet([1, 2], [3, 4], [10, 20], [1, -1])
+        assert packet.dtype == EVENT_DTYPE
+        assert list(packet["x"]) == [1, 2]
+        assert list(packet["y"]) == [3, 4]
+        assert list(packet["t"]) == [10, 20]
+        assert list(packet["p"]) == [1, -1]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal length"):
+            make_packet([1, 2], [3], [10, 20], [1, -1])
+
+    def test_invalid_polarity_raises(self):
+        with pytest.raises(ValueError, match="polarity"):
+            make_packet([1], [2], [3], [0])
+
+    def test_empty_packet(self):
+        packet = empty_packet()
+        assert len(packet) == 0
+        assert packet.dtype == EVENT_DTYPE
+
+
+class TestConcatenateAndValidate:
+    def test_concatenate_sorts_by_time(self):
+        a = make_packet([1], [1], [200], [1])
+        b = make_packet([2], [2], [100], [-1])
+        merged = concatenate_packets([a, b])
+        assert list(merged["t"]) == [100, 200]
+
+    def test_concatenate_empty_list(self):
+        assert len(concatenate_packets([])) == 0
+
+    def test_concatenate_skips_empty_packets(self):
+        a = make_packet([1], [1], [100], [1])
+        merged = concatenate_packets([empty_packet(), a, empty_packet()])
+        assert len(merged) == 1
+
+    def test_validate_in_bounds(self):
+        packet = make_packet([0, 239], [0, 179], [0, 1], [1, 1])
+        validate_packet(packet, 240, 180)
+
+    def test_validate_out_of_bounds_x(self):
+        packet = make_packet([240], [0], [0], [1])
+        with pytest.raises(ValueError, match="x coordinates"):
+            validate_packet(packet, 240, 180)
+
+    def test_validate_out_of_bounds_y(self):
+        packet = make_packet([0], [180], [0], [1])
+        with pytest.raises(ValueError, match="y coordinates"):
+            validate_packet(packet, 240, 180)
+
+    def test_is_time_sorted(self):
+        assert is_time_sorted(make_packet([1, 2], [1, 2], [1, 2], [1, 1]))
+        assert not is_time_sorted(make_packet([1, 2], [1, 2], [2, 1], [1, 1]))
+        assert is_time_sorted(empty_packet())
+
+
+class TestEventPacketWrapper:
+    def test_wrapper_validates_dtype(self):
+        with pytest.raises(TypeError):
+            EventPacket(np.zeros(3), 240, 180)
+
+    def test_wrapper_validates_bounds(self):
+        packet = make_packet([500], [0], [0], [1])
+        with pytest.raises(ValueError):
+            EventPacket(packet, 240, 180)
+
+    def test_duration_and_rate(self):
+        packet = make_packet([0, 1], [0, 1], [0, 1_000_000], [1, 1])
+        wrapped = EventPacket(packet, 240, 180)
+        assert wrapped.duration == 1_000_000
+        assert wrapped.event_rate == pytest.approx(2.0)
+
+    def test_time_slice(self):
+        packet = make_packet([0, 1, 2], [0, 1, 2], [0, 100, 200], [1, 1, 1])
+        wrapped = EventPacket(packet, 240, 180)
+        sliced = wrapped.time_slice(50, 150)
+        assert len(sliced) == 1
+        assert int(sliced.events["t"][0]) == 100
+
+    def test_iteration_yields_tuples(self):
+        packet = make_packet([5], [6], [7], [-1])
+        wrapped = EventPacket(packet, 240, 180)
+        assert list(wrapped) == [(5, 6, 7, -1)]
+
+
+class TestPacketProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 239),
+                st.integers(0, 179),
+                st.integers(0, 10**9),
+                st.sampled_from([1, -1]),
+            ),
+            max_size=50,
+        )
+    )
+    def test_concatenation_is_sorted_and_preserves_count(self, events):
+        if events:
+            xs, ys, ts, ps = zip(*events)
+        else:
+            xs, ys, ts, ps = [], [], [], []
+        packet = make_packet(xs, ys, ts, ps)
+        half = len(packet) // 2
+        merged = concatenate_packets([packet[:half], packet[half:]])
+        assert len(merged) == len(packet)
+        assert is_time_sorted(merged)

@@ -1,0 +1,83 @@
+"""Tests for the Fig. 5 whole-pipeline resource comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resources.comparison import (
+    ebbi_kf_pipeline_resources,
+    ebbiot_pipeline_resources,
+    ebms_pipeline_resources,
+    relative_comparison,
+)
+from repro.resources.params import ResourceParams
+
+
+class TestPipelineTotals:
+    def test_ebbiot_breakdown(self):
+        resources = ebbiot_pipeline_resources()
+        assert set(resources.breakdown) == {"ebbi", "rpn", "overlap_tracker"}
+        assert resources.computes_per_frame == pytest.approx(
+            sum(part["computes_per_frame"] for part in resources.breakdown.values())
+        )
+        assert resources.computes_per_frame == pytest.approx(173_844, rel=0.01)
+
+    def test_ebbi_kf_breakdown(self):
+        resources = ebbi_kf_pipeline_resources()
+        assert set(resources.breakdown) == {"ebbi", "rpn", "kalman"}
+
+    def test_ebms_breakdown(self):
+        resources = ebms_pipeline_resources()
+        assert set(resources.breakdown) == {"nn_filter", "ebms"}
+        assert resources.computes_per_frame == pytest.approx(276_480 + 252_330)
+
+    def test_to_dict(self):
+        data = ebbiot_pipeline_resources().to_dict()
+        assert data["name"] == "EBBIOT"
+        assert "memory_kilobytes" in data
+
+
+class TestFig5Claims:
+    def test_ebbiot_is_the_reference(self):
+        rows = relative_comparison()
+        ebbiot = next(r for r in rows if r["pipeline"] == "EBBIOT")
+        assert ebbiot["computes_relative"] == pytest.approx(1.0)
+        assert ebbiot["memory_relative"] == pytest.approx(1.0)
+
+    def test_ebms_needs_about_3x_computes(self):
+        """Abstract claim: '3X less computations than ... EBMS tracking'."""
+        rows = relative_comparison()
+        ebms = next(r for r in rows if r["pipeline"] == "EBMS")
+        assert ebms["computes_relative"] == pytest.approx(3.0, rel=0.15)
+
+    def test_ebms_needs_about_7x_memory(self):
+        """Abstract claim: '7X less memory ... than conventional noise
+        filtering and EBMS tracking'."""
+        rows = relative_comparison()
+        ebms = next(r for r in rows if r["pipeline"] == "EBMS")
+        assert ebms["memory_relative"] == pytest.approx(7.0, rel=0.15)
+
+    def test_ebbi_kf_close_to_ebbiot_but_not_cheaper(self):
+        """Fig. 5: EBBI+KF is only slightly more expensive than EBBIOT."""
+        rows = relative_comparison()
+        kf = next(r for r in rows if r["pipeline"] == "EBBI+KF")
+        assert 1.0 <= kf["computes_relative"] < 1.1
+        assert 1.0 <= kf["memory_relative"] < 1.3
+
+    def test_custom_params_propagate(self):
+        params = ResourceParams(active_pixel_fraction=0.05)
+        default_rows = relative_comparison()
+        custom_rows = relative_comparison(params)
+        default_ebms = next(r for r in default_rows if r["pipeline"] == "EBMS")
+        custom_ebms = next(r for r in custom_rows if r["pipeline"] == "EBMS")
+        assert custom_ebms["computes_per_frame"] != default_ebms["computes_per_frame"]
+
+    def test_all_rows_have_expected_keys(self):
+        for row in relative_comparison():
+            assert {
+                "pipeline",
+                "computes_per_frame",
+                "memory_kilobytes",
+                "computes_relative",
+                "memory_relative",
+            } <= set(row)

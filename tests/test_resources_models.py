@@ -1,0 +1,162 @@
+"""Tests validating the resource models against the paper's quoted numbers.
+
+Every number quoted in Section II of the paper is asserted here:
+125.2 kops/frame (EBBI), 276.4 kops/frame (NN-filt), 8X memory saving,
+10.8 kB EBBI memory, ~45.6-48 kops/frame (RPN), ~1.6 kB RPN memory,
+≈ 564 ops/frame (OT), 1200 ops/frame (KF), ≈ 1.1 kB KF memory,
+252 kops/frame (EBMS) and 3320 storage units of EBMS memory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resources.ebbi_model import EbbiResourceModel, NnFilterResourceModel
+from repro.resources.params import ResourceParams
+from repro.resources.rpn_model import CnnDetectorReference, RpnResourceModel
+from repro.resources.tracker_models import (
+    EbmsResourceModel,
+    KalmanResourceModel,
+    OverlapTrackerResourceModel,
+)
+
+
+@pytest.fixture
+def params() -> ResourceParams:
+    return ResourceParams.paper_defaults()
+
+
+class TestEbbiModelEq1:
+    def test_computes_match_paper(self, params):
+        # (0.1 * 9 + 2) * 43200 = 125 280 ≈ 125.2 kops/frame.
+        assert EbbiResourceModel(params).computes_per_frame() == pytest.approx(125_280)
+
+    def test_memory_matches_paper(self, params):
+        model = EbbiResourceModel(params)
+        assert model.memory_bits() == 2 * 240 * 180
+        # 86 400 bits = 10.55 kB; the paper rounds to 10.8 kB (10.8 * 1000 * 8 bits).
+        assert model.memory_kilobytes() == pytest.approx(10.8, rel=0.05)
+
+    def test_computes_scale_with_alpha(self, params):
+        sparse = EbbiResourceModel(params.with_measured(active_pixel_fraction=0.01))
+        dense = EbbiResourceModel(params.with_measured(active_pixel_fraction=0.5))
+        assert dense.computes_per_frame() > sparse.computes_per_frame()
+
+    def test_summary_keys(self, params):
+        summary = EbbiResourceModel(params).summary()
+        assert {"name", "computes_per_frame", "memory_bits", "memory_kilobytes"} <= set(summary)
+
+
+class TestNnFilterModelEq2:
+    def test_computes_match_paper(self, params):
+        # (2 * 8 + 16) * (2 * 0.1 * 43200) = 32 * 8640 = 276 480 ≈ 276.4 kops.
+        assert NnFilterResourceModel(params).computes_per_frame() == pytest.approx(276_480)
+
+    def test_events_per_frame(self, params):
+        assert NnFilterResourceModel(params).events_per_frame() == pytest.approx(8_640)
+
+    def test_memory_and_8x_saving(self, params):
+        model = NnFilterResourceModel(params)
+        assert model.memory_bits() == 16 * 43_200
+        assert model.memory_saving_vs_ebbi() == pytest.approx(8.0)
+
+    def test_nn_filter_needs_more_computes_than_ebbi(self, params):
+        assert (
+            NnFilterResourceModel(params).computes_per_frame()
+            > EbbiResourceModel(params).computes_per_frame()
+        )
+
+
+class TestRpnModelEq5:
+    def test_computes_near_paper_value(self, params):
+        model = RpnResourceModel(params)
+        # The literal Eq. (5) gives 48.0 kops; the paper's text quotes 45.6 kops.
+        assert model.computes_per_frame() == pytest.approx(48_000)
+        assert model.computes_per_frame_paper_quoted() == pytest.approx(45_600)
+
+    def test_memory_matches_paper(self, params):
+        model = RpnResourceModel(params)
+        assert model.memory_bits() == pytest.approx(13_040)
+        assert model.memory_kilobytes() == pytest.approx(1.6, rel=0.05)
+
+    def test_downsampling_reduces_memory(self, params):
+        coarse = RpnResourceModel(params)
+        fine = RpnResourceModel(
+            ResourceParams(downsample_x=2, downsample_y=1)
+        )
+        assert coarse.memory_bits() < fine.memory_bits()
+
+    def test_cnn_reference_is_over_1000x(self, params):
+        """The paper's '> 1000X less memory and computes' claim vs a CNN RPN."""
+        rpn = RpnResourceModel(params)
+        cnn = CnnDetectorReference()
+        assert cnn.compute_ratio_vs_rpn(rpn) > 1000
+        assert cnn.memory_ratio_vs_rpn(rpn) > 1000
+
+
+class TestTrackerModelsEq6to8:
+    def test_overlap_tracker_computes_near_564(self, params):
+        model = OverlapTrackerResourceModel(params)
+        assert model.matching_computes() == pytest.approx(536)
+        assert model.computes_per_frame() == pytest.approx(564, rel=0.02)
+
+    def test_overlap_tracker_memory_below_half_kb(self, params):
+        assert OverlapTrackerResourceModel(params).memory_kilobytes() < 0.5
+
+    def test_kalman_computes_match_paper(self, params):
+        # n = m = 4: 4*64 + 6*16*4 + 4*4*16 + 4*64 + 3*16 = 1200.
+        assert KalmanResourceModel(params).computes_per_frame() == pytest.approx(1_200)
+
+    def test_kalman_memory_near_1_1_kb(self, params):
+        assert KalmanResourceModel(params).memory_kilobytes() == pytest.approx(1.1, rel=0.25)
+
+    def test_ebms_computes_match_paper(self, params):
+        model = EbmsResourceModel(params)
+        # 650 * (36 + 341.2 + 11) = 252 330 ≈ 252 kops.
+        assert model.computes_per_frame() == pytest.approx(252_330)
+        assert model.computes_per_event() == pytest.approx(388.2)
+
+    def test_ebms_memory_storage_units(self, params):
+        assert EbmsResourceModel(params).memory_storage_units() == 408 * 8 + 56
+
+    def test_ebms_vs_overlap_tracker_ratio(self, params):
+        """The paper: EBMS needs ≈ 500X more computes than the OT."""
+        ratio = (
+            EbmsResourceModel(params).computes_per_frame()
+            / OverlapTrackerResourceModel(params).computes_per_frame()
+        )
+        assert 300 < ratio < 700
+
+    def test_kalman_scales_with_tracker_count(self, params):
+        small = KalmanResourceModel(params.with_measured(num_trackers=1))
+        large = KalmanResourceModel(params.with_measured(num_trackers=4))
+        assert large.computes_per_frame() > 4 * small.computes_per_frame()
+
+
+class TestResourceParams:
+    def test_paper_defaults(self):
+        params = ResourceParams.paper_defaults()
+        assert params.num_pixels == 43_200
+        assert params.events_per_frame_raw == pytest.approx(8_640)
+
+    def test_with_measured_overrides(self):
+        params = ResourceParams().with_measured(
+            active_pixel_fraction=0.05, events_per_frame_filtered=500, num_trackers=3,
+            active_clusters=1.5,
+        )
+        assert params.active_pixel_fraction == 0.05
+        assert params.events_per_frame_filtered == 500
+        assert params.num_trackers == 3
+        assert params.active_clusters == 1.5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ResourceParams(width=0)
+        with pytest.raises(ValueError):
+            ResourceParams(patch_size=2)
+        with pytest.raises(ValueError):
+            ResourceParams(active_pixel_fraction=1.5)
+        with pytest.raises(ValueError):
+            ResourceParams(events_per_active_pixel=0.5)
+        with pytest.raises(ValueError):
+            ResourceParams(merge_probability=2.0)

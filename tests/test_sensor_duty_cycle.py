@@ -1,0 +1,108 @@
+"""Tests for the duty-cycle timing / energy model (Fig. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sensor.duty_cycle import DutyCycleModel, DutyCyclePhase
+
+
+class TestDutyCycleModel:
+    def test_paper_frame_rate(self):
+        model = DutyCycleModel()
+        assert model.frame_rate_hz == pytest.approx(15.15, rel=0.01)
+
+    def test_duty_cycle_fraction(self):
+        model = DutyCycleModel(
+            frame_duration_us=66_000,
+            wakeup_time_us=100,
+            readout_time_us=2_000,
+            processing_time_us=5_000,
+        )
+        assert model.duty_cycle == pytest.approx(7_100 / 66_000)
+        assert model.sleep_time_per_cycle_us == pytest.approx(66_000 - 7_100)
+
+    def test_active_time_must_fit_in_frame(self):
+        with pytest.raises(ValueError):
+            DutyCycleModel(frame_duration_us=5_000, processing_time_us=10_000)
+
+    def test_energy_and_power(self):
+        model = DutyCycleModel()
+        energy = model.energy_per_cycle_uj()
+        average = model.average_power_mw()
+        assert energy > 0
+        assert 0 < average < model.active_power_mw
+        assert model.power_saving_factor() > 1.0
+
+    def test_power_saving_grows_with_frame_duration(self):
+        short = DutyCycleModel(frame_duration_us=10_000)
+        long = DutyCycleModel(frame_duration_us=132_000)
+        assert long.power_saving_factor() > short.power_saving_factor()
+
+    def test_battery_life_positive_and_monotonic(self):
+        model = DutyCycleModel()
+        assert model.battery_life_days(1000) > 0
+        assert model.battery_life_days(2000) == pytest.approx(
+            2 * model.battery_life_days(1000)
+        )
+        with pytest.raises(ValueError):
+            model.battery_life_days(0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            DutyCycleModel(sleep_power_mw=-1)
+
+
+class TestDutyCycleTrace:
+    def test_trace_structure(self):
+        model = DutyCycleModel()
+        trace = model.simulate(num_frames=5)
+        assert len(trace.intervals) == 5 * 4
+        assert trace.total_time_us() == pytest.approx(5 * 66_000, rel=0.01)
+
+    def test_trace_phases_cover_cycle(self):
+        model = DutyCycleModel()
+        trace = model.simulate(num_frames=3)
+        sleep = trace.time_in_phase(DutyCyclePhase.SLEEP)
+        awake = (
+            trace.time_in_phase(DutyCyclePhase.WAKE)
+            + trace.time_in_phase(DutyCyclePhase.READOUT)
+            + trace.time_in_phase(DutyCyclePhase.PROCESS)
+        )
+        assert sleep + awake == pytest.approx(trace.total_time_us(), rel=1e-6)
+        assert trace.active_fraction() == pytest.approx(model.duty_cycle, rel=0.05)
+
+    def test_trace_intervals_are_contiguous(self):
+        trace = DutyCycleModel().simulate(num_frames=2)
+        for a, b in zip(trace.intervals, trace.intervals[1:]):
+            assert a.t_end_us == pytest.approx(b.t_start_us)
+
+    def test_invalid_num_frames(self):
+        with pytest.raises(ValueError):
+            DutyCycleModel().simulate(0)
+
+    def test_as_rows(self):
+        rows = DutyCycleModel().simulate(1).as_rows()
+        assert len(rows) == 4
+        assert {row["phase"] for row in rows} == {"sleep", "wake", "readout", "process"}
+
+    def test_empty_trace_metrics(self):
+        from repro.sensor.duty_cycle import DutyCycleTrace
+
+        trace = DutyCycleTrace()
+        assert trace.total_time_us() == 0.0
+        assert trace.active_fraction() == 0.0
+
+
+class TestFrameDurationSweep:
+    def test_sweep_reports_all_durations(self):
+        model = DutyCycleModel()
+        rows = model.compare_frame_durations([33_000, 66_000, 132_000])
+        assert len(rows) == 3
+        assert rows[1]["frame_duration_us"] == 66_000
+
+    def test_duty_cycle_decreases_with_longer_frames(self):
+        model = DutyCycleModel()
+        rows = model.compare_frame_durations([33_000, 66_000, 132_000])
+        duty_cycles = [row["duty_cycle"] for row in rows]
+        assert duty_cycles[0] > duty_cycles[1] > duty_cycles[2]

@@ -1,0 +1,77 @@
+"""Tests for object templates and scene objects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.objects import OBJECT_TEMPLATES, ObjectClass, SceneObject
+from repro.simulation.trajectories import ConstantVelocityTrajectory
+
+
+class TestObjectTemplates:
+    def test_all_classes_have_templates(self):
+        assert set(OBJECT_TEMPLATES) == set(ObjectClass)
+
+    def test_sizes_span_an_order_of_magnitude(self):
+        """The paper notes object sizes vary by ~10X within one scene."""
+        widths = [t.width_px for t in OBJECT_TEMPLATES.values()]
+        assert max(widths) / min(widths) >= 10
+
+    def test_large_vehicles_have_sparser_bodies(self):
+        """Plain-sided vehicles must fragment: bus body density << car."""
+        bus = OBJECT_TEMPLATES[ObjectClass.BUS]
+        car = OBJECT_TEMPLATES[ObjectClass.CAR]
+        human = OBJECT_TEMPLATES[ObjectClass.HUMAN]
+        assert bus.body_event_density < car.body_event_density
+        assert car.body_event_density < human.body_event_density
+
+    def test_scaled_template(self):
+        car = OBJECT_TEMPLATES[ObjectClass.CAR]
+        half = car.scaled(0.5)
+        assert half.width_px == pytest.approx(car.width_px / 2)
+        assert half.height_px == pytest.approx(car.height_px / 2)
+        assert half.edge_event_density == car.edge_event_density
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            OBJECT_TEMPLATES[ObjectClass.CAR].scaled(0)
+
+
+class TestSceneObject:
+    def _object(self, speed=60.0):
+        template = OBJECT_TEMPLATES[ObjectClass.CAR]
+        trajectory = ConstantVelocityTrajectory((0, 50), (speed, 0), 0, 5_000_000)
+        return SceneObject(object_id=3, template=template, trajectory=trajectory)
+
+    def test_bounding_box_follows_trajectory(self):
+        scene_object = self._object()
+        box0 = scene_object.bounding_box(0)
+        box1 = scene_object.bounding_box(1_000_000)
+        assert box0.x == pytest.approx(0)
+        assert box1.x == pytest.approx(60)
+        assert box0.width == scene_object.width
+        assert box0.height == scene_object.height
+
+    def test_velocity_px_per_frame(self):
+        scene_object = self._object(speed=60.0)
+        vx, vy = scene_object.velocity_px_per_frame(100, 66_000)
+        assert vx == pytest.approx(60 * 0.066, rel=0.01)
+        assert vy == 0.0
+
+    def test_is_active(self):
+        scene_object = self._object()
+        assert scene_object.is_active(0)
+        assert not scene_object.is_active(5_000_000)
+
+    def test_texture_offsets_cached_and_sorted(self, rng):
+        scene_object = self._object()
+        first = scene_object.texture_offsets(rng)
+        second = scene_object.texture_offsets(rng)
+        np.testing.assert_array_equal(first, second)
+        assert np.all(np.diff(first) >= 0)
+        assert np.all((first > 0.1) & (first < 0.9))
+        assert len(first) == scene_object.template.texture_lines
+
+    def test_object_class_property(self):
+        assert self._object().object_class is ObjectClass.CAR

@@ -1,0 +1,132 @@
+"""Tests for the event-based mean-shift cluster tracker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events.types import make_packet
+from repro.trackers.ebms import EbmsConfig, EbmsTracker
+
+
+def blob_events(cx, cy, count, t_start, t_end, rng, spread=6):
+    """Events clustered around a centre — a compact moving object."""
+    x = np.clip(rng.normal(cx, spread, count), 0, 239).astype(int)
+    y = np.clip(rng.normal(cy, spread, count), 0, 179).astype(int)
+    t = np.sort(rng.integers(t_start, t_end, count))
+    return make_packet(x, y, t, np.ones(count, dtype=int))
+
+
+class TestClusterFormation:
+    def test_dense_blob_forms_visible_cluster(self, rng):
+        tracker = EbmsTracker(EbmsConfig(support_threshold_events=30))
+        tracker.process_events(blob_events(100, 90, 200, 0, 66_000, rng))
+        assert tracker.num_active_tracks >= 1
+        assert tracker.events_processed == 200
+
+    def test_sparse_events_stay_invisible(self, rng):
+        tracker = EbmsTracker(EbmsConfig(support_threshold_events=50))
+        events = make_packet([10, 200, 100], [10, 150, 90], [0, 10, 20], [1, 1, 1])
+        tracker.process_events(events)
+        assert tracker.num_active_tracks == 0
+        assert tracker.num_clusters >= 1
+
+    def test_cluster_centre_near_blob_centre(self, rng):
+        tracker = EbmsTracker(EbmsConfig(support_threshold_events=30))
+        observations = tracker.process_frame(blob_events(120, 80, 300, 0, 66_000, rng), 33_000)
+        assert len(observations) >= 1
+        cx, cy = observations[0].box.center
+        assert cx == pytest.approx(120, abs=15)
+        assert cy == pytest.approx(80, abs=15)
+
+    def test_max_clusters_respected(self, rng):
+        tracker = EbmsTracker(EbmsConfig(max_clusters=2, cluster_radius_px=5))
+        packets = [
+            blob_events(30, 30, 50, 0, 10_000, rng),
+            blob_events(120, 90, 50, 10_000, 20_000, rng),
+            blob_events(200, 150, 50, 20_000, 30_000, rng),
+        ]
+        merged = np.concatenate(packets)
+        merged.sort(order="t")
+        tracker.process_events(merged)
+        assert tracker.num_clusters <= 2
+
+
+class TestTrackingBehaviour:
+    def test_cluster_follows_moving_blob(self, rng):
+        tracker = EbmsTracker(EbmsConfig(support_threshold_events=30))
+        centres = []
+        for frame in range(10):
+            cx = 40 + 8 * frame
+            events = blob_events(cx, 90, 200, frame * 66_000, (frame + 1) * 66_000, rng)
+            observations = tracker.process_frame(events, frame * 66_000 + 33_000)
+            if observations:
+                centres.append(observations[0].box.center[0])
+        assert len(centres) >= 5
+        assert centres[-1] > centres[0] + 30
+
+    def test_velocity_estimated_from_history(self, rng):
+        tracker = EbmsTracker(EbmsConfig(support_threshold_events=30))
+        observation = None
+        for frame in range(10):
+            cx = 40 + 8 * frame
+            events = blob_events(cx, 90, 200, frame * 66_000, (frame + 1) * 66_000, rng)
+            observations = tracker.process_frame(events, frame * 66_000 + 33_000)
+            if observations:
+                observation = observations[0]
+        assert observation is not None
+        # ~8 px per 66 ms frame = ~120 px/s; the estimate is noisy but positive
+        # and of the right order.
+        assert observation.velocity[0] > 30
+
+    def test_stale_cluster_decays(self, rng):
+        tracker = EbmsTracker(EbmsConfig(support_threshold_events=30, decay_time_us=100_000))
+        tracker.process_frame(blob_events(100, 90, 200, 0, 66_000, rng), 33_000)
+        assert tracker.num_active_tracks >= 1
+        # Several empty frames later the cluster is gone.
+        for frame in range(1, 5):
+            tracker.process_frame(make_packet([], [], [], []), frame * 66_000 + 33_000)
+        assert tracker.num_active_tracks == 0
+
+    def test_two_blobs_merge_when_close(self, rng):
+        tracker = EbmsTracker(
+            EbmsConfig(support_threshold_events=20, merge_distance_px=20, cluster_radius_px=15)
+        )
+        left = blob_events(80, 90, 150, 0, 33_000, rng, spread=4)
+        right = blob_events(95, 90, 150, 33_000, 66_000, rng, spread=4)
+        merged = np.concatenate([left, right])
+        merged.sort(order="t")
+        tracker.process_events(merged)
+        assert tracker.merges_performed >= 1
+
+    def test_mean_visible_clusters_statistic(self, rng):
+        tracker = EbmsTracker(EbmsConfig(support_threshold_events=30))
+        for frame in range(4):
+            tracker.process_frame(
+                blob_events(100, 90, 200, frame * 66_000, (frame + 1) * 66_000, rng),
+                frame * 66_000 + 33_000,
+            )
+        assert 0 < tracker.mean_visible_clusters <= tracker.config.max_clusters
+
+    def test_reset(self, rng):
+        tracker = EbmsTracker()
+        tracker.process_events(blob_events(100, 90, 100, 0, 66_000, rng))
+        tracker.reset()
+        assert tracker.num_clusters == 0
+        assert tracker.events_processed == 0
+
+
+class TestConfigValidation:
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            EbmsConfig(max_clusters=0)
+        with pytest.raises(ValueError):
+            EbmsConfig(cluster_radius_px=0)
+        with pytest.raises(ValueError):
+            EbmsConfig(mixing_factor=0)
+        with pytest.raises(ValueError):
+            EbmsConfig(support_threshold_events=0)
+        with pytest.raises(ValueError):
+            EbmsConfig(decay_time_us=0)
+        with pytest.raises(ValueError):
+            EbmsConfig(history_length=1)

@@ -1,0 +1,112 @@
+"""Tests for the constant-velocity Kalman filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trackers.kalman import ConstantVelocityKalmanFilter
+
+
+class TestInitialisation:
+    def test_requires_initialisation(self):
+        kalman = ConstantVelocityKalmanFilter()
+        assert not kalman.is_initialised
+        with pytest.raises(RuntimeError):
+            kalman.predict()
+        with pytest.raises(RuntimeError):
+            kalman.update(0, 0)
+
+    def test_initialise_sets_position(self):
+        kalman = ConstantVelocityKalmanFilter()
+        kalman.initialise(10, 20)
+        assert kalman.position == (10, 20)
+        assert kalman.velocity == (0, 0)
+        assert kalman.is_initialised
+
+    def test_invalid_noise_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantVelocityKalmanFilter(process_noise=0)
+        with pytest.raises(ValueError):
+            ConstantVelocityKalmanFilter(measurement_noise=-1)
+
+
+class TestPredictionAndUpdate:
+    def test_velocity_learned_from_measurements(self):
+        kalman = ConstantVelocityKalmanFilter()
+        kalman.initialise(0, 0)
+        for step in range(1, 20):
+            kalman.predict()
+            kalman.update(4.0 * step, 0.0)
+        vx, vy = kalman.velocity
+        assert vx == pytest.approx(4.0, abs=0.5)
+        assert vy == pytest.approx(0.0, abs=0.3)
+
+    def test_prediction_extrapolates(self):
+        kalman = ConstantVelocityKalmanFilter()
+        kalman.initialise(0, 0)
+        for step in range(1, 15):
+            kalman.predict()
+            kalman.update(2.0 * step, 3.0 * step)
+        cx, cy = kalman.predict()
+        assert cx == pytest.approx(2.0 * 15, abs=1.5)
+        assert cy == pytest.approx(3.0 * 15, abs=2.0)
+
+    def test_update_pulls_towards_measurement(self):
+        kalman = ConstantVelocityKalmanFilter(measurement_noise=1.0)
+        kalman.initialise(0, 0)
+        kalman.predict()
+        cx, cy = kalman.update(10, 10)
+        assert 0 < cx < 10
+        assert 0 < cy < 10
+
+    def test_uncertainty_grows_with_prediction_shrinks_with_update(self):
+        kalman = ConstantVelocityKalmanFilter()
+        kalman.initialise(0, 0)
+        initial = kalman.position_uncertainty()
+        kalman.predict()
+        after_predict = kalman.position_uncertainty()
+        kalman.update(0, 0)
+        after_update = kalman.position_uncertainty()
+        assert after_predict > initial
+        assert after_update < after_predict
+
+    def test_covariance_stays_symmetric_positive(self):
+        kalman = ConstantVelocityKalmanFilter()
+        kalman.initialise(5, 5)
+        rng = np.random.default_rng(0)
+        for step in range(30):
+            kalman.predict()
+            kalman.update(5 + step + rng.normal(0, 1), 5 + rng.normal(0, 1))
+            covariance = kalman.covariance
+            np.testing.assert_allclose(covariance, covariance.T, atol=1e-8)
+            eigenvalues = np.linalg.eigvalsh(covariance)
+            assert np.all(eigenvalues > -1e-9)
+
+    def test_noise_free_measurements_tracked_exactly(self):
+        kalman = ConstantVelocityKalmanFilter(measurement_noise=0.1)
+        kalman.initialise(0, 0)
+        for step in range(1, 40):
+            kalman.predict()
+            kalman.update(float(step), float(2 * step))
+        assert kalman.position[0] == pytest.approx(39, abs=0.5)
+        assert kalman.position[1] == pytest.approx(78, abs=1.0)
+
+
+class TestModelMatrices:
+    def test_transition_matrix_moves_position_by_velocity(self):
+        transition = ConstantVelocityKalmanFilter.transition_matrix()
+        state = np.array([1.0, 2.0, 3.0, 4.0])
+        advanced = transition @ state
+        np.testing.assert_allclose(advanced, [4.0, 6.0, 3.0, 4.0])
+
+    def test_measurement_matrix_extracts_centroid(self):
+        measurement = ConstantVelocityKalmanFilter.measurement_matrix()
+        state = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(measurement @ state, [1.0, 2.0])
+
+    def test_noise_covariances_positive_semidefinite(self):
+        kalman = ConstantVelocityKalmanFilter()
+        for matrix in (kalman.process_noise_covariance(), kalman.measurement_noise_covariance()):
+            eigenvalues = np.linalg.eigvalsh(matrix)
+            assert np.all(eigenvalues >= -1e-12)

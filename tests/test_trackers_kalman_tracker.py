@@ -1,0 +1,104 @@
+"""Tests for the multi-object Kalman-filter tracker (EBBI+KF baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.histogram_rpn import RegionProposal
+from repro.trackers.kalman_tracker import KalmanFilterTracker, KalmanTrackerConfig
+from repro.utils.geometry import BoundingBox
+
+
+def proposal(x, y, w=30, h=20):
+    box = BoundingBox(x, y, w, h)
+    return RegionProposal(box=box, event_count=int(box.area), density=1.0)
+
+
+def run_frames(tracker, frames):
+    return [
+        tracker.process_frame(proposals, t_us=i * 66_000)
+        for i, proposals in enumerate(frames)
+    ]
+
+
+class TestTrackLifecycle:
+    def test_confirmation_after_min_age(self):
+        tracker = KalmanFilterTracker(KalmanTrackerConfig(min_track_age_frames=2))
+        outputs = run_frames(tracker, [[proposal(50, 60)], [proposal(53, 60)]])
+        assert outputs[0] == []
+        assert len(outputs[1]) == 1
+
+    def test_track_dropped_after_misses(self):
+        tracker = KalmanFilterTracker(KalmanTrackerConfig(max_missed_frames=2))
+        run_frames(tracker, [[proposal(50, 60)], [proposal(53, 60)], [], [], []])
+        assert tracker.num_active_tracks == 0
+
+    def test_max_tracks_respected(self):
+        tracker = KalmanFilterTracker(KalmanTrackerConfig(max_tracks=2))
+        tracker.process_frame(
+            [proposal(10, 10), proposal(80, 80), proposal(150, 150)], 0
+        )
+        assert tracker.num_active_tracks == 2
+
+    def test_reset(self):
+        tracker = KalmanFilterTracker()
+        tracker.process_frame([proposal(10, 10)], 0)
+        tracker.reset()
+        assert tracker.num_active_tracks == 0
+        assert tracker.mean_active_tracks == 0.0
+
+
+class TestTracking:
+    def test_follows_moving_object_with_stable_id(self):
+        tracker = KalmanFilterTracker()
+        frames = [[proposal(40 + 4 * i, 60)] for i in range(12)]
+        outputs = run_frames(tracker, frames)
+        track_ids = {o.track_id for frame in outputs for o in frame}
+        assert len(track_ids) == 1
+        final = outputs[-1][0]
+        assert final.box.center[0] == pytest.approx(40 + 4 * 11 + 15, abs=6)
+        assert final.velocity[0] == pytest.approx(4.0, abs=1.0)
+
+    def test_two_objects_two_tracks(self):
+        tracker = KalmanFilterTracker()
+        frames = [
+            [proposal(30 + 3 * i, 40), proposal(170 - 3 * i, 110)] for i in range(8)
+        ]
+        outputs = run_frames(tracker, frames)
+        assert len(outputs[-1]) == 2
+
+    def test_distance_fallback_match(self):
+        """A fast object whose boxes no longer overlap is still matched by
+        the centroid-distance fallback."""
+        config = KalmanTrackerConfig(max_match_distance_px=60.0, min_track_age_frames=1)
+        tracker = KalmanFilterTracker(config)
+        # 40 px jump per frame: zero IoU between consecutive 30-px-wide boxes.
+        frames = [[proposal(10 + 40 * i, 60)] for i in range(5)]
+        outputs = run_frames(tracker, frames)
+        track_ids = {o.track_id for frame in outputs for o in frame}
+        assert len(track_ids) == 1
+
+    def test_size_smoothing(self):
+        config = KalmanTrackerConfig(size_smoothing=0.9, min_track_age_frames=1)
+        tracker = KalmanFilterTracker(config)
+        tracker.process_frame([proposal(50, 60, 30, 20)], 0)
+        output = tracker.process_frame([proposal(53, 60, 60, 40)], 66_000)
+        # Size moves only slowly towards the new measurement.
+        assert output[0].box.width < 40
+
+    def test_mean_active_tracks_statistic(self):
+        tracker = KalmanFilterTracker()
+        run_frames(tracker, [[proposal(50, 60)], [proposal(53, 60)]])
+        assert tracker.mean_active_tracks == pytest.approx(1.0)
+
+
+class TestConfigValidation:
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            KalmanTrackerConfig(max_tracks=0)
+        with pytest.raises(ValueError):
+            KalmanTrackerConfig(min_iou_for_match=2.0)
+        with pytest.raises(ValueError):
+            KalmanTrackerConfig(max_match_distance_px=0)
+        with pytest.raises(ValueError):
+            KalmanTrackerConfig(size_smoothing=1.5)

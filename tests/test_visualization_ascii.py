@@ -1,0 +1,114 @@
+"""Tests for the ASCII visualisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.precision_recall import PrecisionRecall
+from repro.trackers.base import TrackObservation
+from repro.utils.geometry import BoundingBox
+from repro.visualization import (
+    render_frame_ascii,
+    render_histogram_ascii,
+    render_precision_recall_curves,
+    render_track_trajectories,
+)
+
+
+class TestRenderFrame:
+    def test_active_pixels_marked(self):
+        frame = np.zeros((18, 24), dtype=np.uint8)
+        frame[9, 12] = 1
+        art = render_frame_ascii(frame, max_width=24, max_height=18)
+        assert "#" in art
+        assert art.count("\n") == 17
+
+    def test_box_overlay_characters(self):
+        frame = np.zeros((18, 24), dtype=np.uint8)
+        frame[8:12, 10:14] = 1
+        art = render_frame_ascii(
+            frame, boxes=[BoundingBox(9, 7, 6, 6)], max_width=24, max_height=18
+        )
+        assert "@" in art  # active pixel inside the box
+        assert "+" in art or "#" in art
+
+    def test_downsampling_bounds_output_size(self):
+        frame = np.zeros((180, 240), dtype=np.uint8)
+        art = render_frame_ascii(frame, max_width=60, max_height=30)
+        lines = art.split("\n")
+        assert len(lines) <= 31
+        assert all(len(line) <= 61 for line in lines)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            render_frame_ascii(np.zeros(5))
+        with pytest.raises(ValueError):
+            render_frame_ascii(np.zeros((5, 5)), max_width=1)
+
+
+class TestRenderHistogram:
+    def test_bars_scale_with_values(self):
+        histogram = np.array([0, 1, 2, 4])
+        art = render_histogram_ascii(histogram, height=4, label="H_X")
+        lines = art.split("\n")
+        assert lines[0].startswith("H_X")
+        # The tallest bin has bars on every level, the zero bin on none.
+        top_row = lines[1]
+        assert top_row[3] == "|"
+        assert all(row[0] == " " for row in lines[1:-1])
+
+    def test_empty_histogram(self):
+        art = render_histogram_ascii(np.zeros(5), height=3)
+        assert "empty" in art
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            render_histogram_ascii(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            render_histogram_ascii(np.zeros(3), height=0)
+
+
+class TestRenderCurves:
+    def _results(self):
+        return {
+            "EBBIOT": {0.3: PrecisionRecall(0.9, 0.8, 9, 10, 10), 0.5: PrecisionRecall(0.6, 0.5, 6, 10, 10)},
+            "EBMS": {0.3: PrecisionRecall(0.2, 0.4, 2, 10, 10), 0.5: PrecisionRecall(0.1, 0.2, 1, 10, 10)},
+        }
+
+    def test_contains_trackers_and_bars(self):
+        art = render_precision_recall_curves(self._results(), metric="precision", width=20)
+        assert "EBBIOT" in art and "EBMS" in art
+        assert "#" * 18 in art  # 0.9 * 20 = 18 chars
+        assert "IoU>0.3" in art and "IoU>0.5" in art
+
+    def test_recall_metric(self):
+        art = render_precision_recall_curves(self._results(), metric="recall")
+        assert "recall" in art
+
+    def test_invalid_metric_and_empty(self):
+        with pytest.raises(ValueError):
+            render_precision_recall_curves(self._results(), metric="f1")
+        assert render_precision_recall_curves({}) == "(no results)"
+
+
+class TestRenderTrajectories:
+    def test_two_tracks_use_distinct_symbols(self):
+        observations = [
+            TrackObservation(1, BoundingBox(10 + 10 * i, 60, 20, 20), i * 66_000)
+            for i in range(5)
+        ] + [
+            TrackObservation(2, BoundingBox(200 - 10 * i, 120, 20, 20), i * 66_000)
+            for i in range(5)
+        ]
+        art = render_track_trajectories(observations)
+        assert "0" in art and "1" in art
+        assert "track 1" in art and "track 2" in art
+
+    def test_empty_observations(self):
+        art = render_track_trajectories([])
+        assert "track" not in art
+
+    def test_invalid_canvas(self):
+        with pytest.raises(ValueError):
+            render_track_trajectories([], max_width=1)
