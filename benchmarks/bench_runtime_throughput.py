@@ -1,0 +1,281 @@
+"""Runtime throughput baseline: vectorized hot paths and 1-vs-N scaling.
+
+Measures, on a synthetic 1M-event stream (traffic-like moving blobs plus
+background noise):
+
+1. **Windowing + EBBI accumulation** — the seed's per-window loop (two
+   ``searchsorted`` calls and one ``events_to_binary_frame`` per window)
+   against the vectorized path (one ``searchsorted`` over all boundaries,
+   chunked batch accumulation).
+2. **Histogram computation** — per-frame block-downsample + axis sums
+   against the direct fold of :func:`repro.core.histogram_rpn.frame_histograms`.
+3. **Fleet scaling** — full-pipeline events/sec for the same event volume
+   processed as 1 recording (serial) vs N concurrent recordings
+   (:class:`repro.runtime.StreamRunner`, thread executor).
+
+Run as a script; emits a JSON document so later PRs can diff the numbers::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_throughput.py
+    PYTHONPATH=src python benchmarks/bench_runtime_throughput.py \\
+        --events 200000 --scenes 2 --output baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.ebbi import events_to_binary_frame, events_to_binary_frame_batch
+from repro.core.histogram_rpn import (
+    compute_histograms,
+    downsample_binary_frame,
+    frame_histograms,
+)
+from repro.events.stream import EventStream
+from repro.events.types import EVENT_DTYPE
+from repro.runtime import RecordingJob, RunnerConfig, StreamRunner
+
+WIDTH, HEIGHT = 240, 180
+FRAME_DURATION_US = 66_000
+
+
+def make_stream(num_events: int, duration_s: float, seed: int) -> EventStream:
+    """A traffic-like synthetic stream: moving blobs plus uniform noise.
+
+    Generated directly with NumPy (no scene renderer) so building the 1M
+    events takes milliseconds and the benchmark measures the pipeline, not
+    the simulator.
+    """
+    rng = np.random.default_rng(seed)
+    duration_us = int(duration_s * 1e6)
+    num_objects = 6
+    object_events = int(num_events * 0.7) // num_objects
+    packets = []
+    for _ in range(num_objects):
+        ts = np.sort(rng.integers(0, duration_us, size=object_events))
+        start_x = rng.uniform(0, WIDTH)
+        speed = rng.uniform(-60.0, 60.0)  # px/s
+        center_x = np.mod(start_x + speed * ts / 1e6, WIDTH)
+        center_y = rng.uniform(20, HEIGHT - 20)
+        x = np.clip(center_x + rng.normal(0, 4.0, size=object_events), 0, WIDTH - 1)
+        y = np.clip(center_y + rng.normal(0, 3.0, size=object_events), 0, HEIGHT - 1)
+        packet = np.empty(object_events, dtype=EVENT_DTYPE)
+        packet["x"] = x.astype(np.int16)
+        packet["y"] = y.astype(np.int16)
+        packet["t"] = ts
+        packet["p"] = np.where(rng.random(object_events) < 0.5, 1, -1)
+        packets.append(packet)
+    noise_events = num_events - num_objects * object_events
+    noise = np.empty(noise_events, dtype=EVENT_DTYPE)
+    noise["x"] = rng.integers(0, WIDTH, size=noise_events)
+    noise["y"] = rng.integers(0, HEIGHT, size=noise_events)
+    noise["t"] = rng.integers(0, duration_us, size=noise_events)
+    noise["p"] = np.where(rng.random(noise_events) < 0.5, 1, -1)
+    packets.append(noise)
+    events = np.concatenate(packets)
+    events.sort(order="t", kind="stable")
+    return EventStream(events, WIDTH, HEIGHT)
+
+
+# -- stage 1: windowing + EBBI accumulation ---------------------------------------------
+
+
+def seed_windowing_ebbi(stream: EventStream) -> int:
+    """The seed implementation: a Python loop with two searches per window."""
+    timestamps = stream.events["t"]
+    t_start, t_end = 0, int(timestamps[-1]) + 1
+    active_total = 0
+    window_start = t_start
+    while window_start < t_end:
+        window_end = window_start + FRAME_DURATION_US
+        lo = np.searchsorted(timestamps, window_start, side="left")
+        hi = np.searchsorted(timestamps, window_end, side="left")
+        frame = events_to_binary_frame(stream.events[lo:hi], WIDTH, HEIGHT)
+        active_total += int(frame.sum())
+        window_start = window_end
+    return active_total
+
+
+def vectorized_windowing_ebbi(stream: EventStream, chunk_frames: int = 256) -> int:
+    """The new path: one boundary search, chunked batch accumulation."""
+    index = stream.frame_index(FRAME_DURATION_US, align_to_zero=True)
+    active_total = 0
+    for chunk_start in range(0, index.num_frames, chunk_frames):
+        chunk_stop = min(chunk_start + chunk_frames, index.num_frames)
+        stack = events_to_binary_frame_batch(
+            index.events,
+            index.splits[chunk_start : chunk_stop + 1],
+            WIDTH,
+            HEIGHT,
+        )
+        active_total += int(stack.sum(dtype=np.int64))
+    return active_total
+
+
+# -- stage 2: histogram computation ----------------------------------------------------
+
+
+def seed_histograms(frames: np.ndarray) -> int:
+    """Per-frame block-downsample followed by axis sums (seed path)."""
+    checksum = 0
+    for frame in frames:
+        hx, hy = compute_histograms(downsample_binary_frame(frame, 6, 3))
+        checksum += int(hx.sum()) + int(hy.sum())
+    return checksum
+
+
+def vectorized_histograms(frames: np.ndarray) -> int:
+    """Direct fold of the full-resolution frame into both histograms."""
+    checksum = 0
+    for frame in frames:
+        hx, hy = frame_histograms(frame, 6, 3)
+        checksum += int(hx.sum()) + int(hy.sum())
+    return checksum
+
+
+# -- timing helpers --------------------------------------------------------------------
+
+
+def _time(fn, *args, repeats: int = 1):
+    """Best-of-``repeats`` wall time and the function's checksum."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = fn(*args)
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def run_benchmark(
+    num_events: int, duration_s: float, num_scenes: int, repeats: int, seed: int
+) -> dict:
+    """Run all three stages and return the JSON-serialisable report."""
+    stream = make_stream(num_events, duration_s, seed)
+
+    seed_time, seed_checksum = _time(seed_windowing_ebbi, stream, repeats=repeats)
+    vec_time, vec_checksum = _time(vectorized_windowing_ebbi, stream, repeats=repeats)
+    if seed_checksum != vec_checksum:
+        raise AssertionError(
+            f"windowing paths disagree: {seed_checksum} != {vec_checksum}"
+        )
+    windowing = {
+        "num_events": len(stream),
+        "seed_loop_s": seed_time,
+        "vectorized_s": vec_time,
+        "seed_events_per_s": len(stream) / seed_time,
+        "vectorized_events_per_s": len(stream) / vec_time,
+        "speedup": seed_time / vec_time,
+    }
+
+    # Reuse the stream's first frames for the histogram stage.
+    index = stream.frame_index(FRAME_DURATION_US, align_to_zero=True)
+    num_hist_frames = min(index.num_frames, 256)
+    frames = events_to_binary_frame_batch(
+        index.events, index.splits[: num_hist_frames + 1], WIDTH, HEIGHT
+    )
+    hist_seed_time, hist_seed_sum = _time(seed_histograms, frames, repeats=repeats)
+    hist_vec_time, hist_vec_sum = _time(vectorized_histograms, frames, repeats=repeats)
+    if hist_seed_sum != hist_vec_sum:
+        raise AssertionError(
+            f"histogram paths disagree: {hist_seed_sum} != {hist_vec_sum}"
+        )
+    histograms = {
+        "num_frames": int(num_hist_frames),
+        "seed_loop_s": hist_seed_time,
+        "vectorized_s": hist_vec_time,
+        "seed_frames_per_s": num_hist_frames / hist_seed_time,
+        "vectorized_frames_per_s": num_hist_frames / hist_vec_time,
+        "speedup": hist_seed_time / hist_vec_time,
+    }
+
+    # Fleet scaling: the same total volume as one recording vs N concurrent.
+    single_job = [RecordingJob(name="single", stream=stream)]
+    events_per_scene = num_events // num_scenes
+    fleet_jobs = [
+        RecordingJob(
+            name=f"scene-{i:02d}",
+            stream=make_stream(events_per_scene, duration_s / num_scenes, seed + 1 + i),
+        )
+        for i in range(num_scenes)
+    ]
+    single_batch = StreamRunner(RunnerConfig(executor="serial")).run(single_job)
+    fleet_batch = StreamRunner(RunnerConfig(executor="thread")).run(fleet_jobs)
+    runner = {
+        "single": {
+            "recordings": 1,
+            "total_events": single_batch.total_events,
+            "wall_time_s": single_batch.wall_time_s,
+            "events_per_s": single_batch.events_per_second,
+        },
+        "fleet": {
+            "recordings": num_scenes,
+            "total_events": fleet_batch.total_events,
+            "wall_time_s": fleet_batch.wall_time_s,
+            "events_per_s": fleet_batch.events_per_second,
+        },
+        "scaling": (
+            fleet_batch.events_per_second / single_batch.events_per_second
+            if single_batch.events_per_second
+            else 0.0
+        ),
+    }
+
+    return {
+        "benchmark": "runtime_throughput",
+        "config": {
+            "num_events": num_events,
+            "duration_s": duration_s,
+            "num_scenes": num_scenes,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "windowing_ebbi": windowing,
+        "histograms": histograms,
+        "runner": runner,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=1_000_000)
+    parser.add_argument("--duration", type=float, default=40.0)
+    parser.add_argument("--scenes", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output", default=None, help="write JSON here instead of stdout"
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(
+        args.events, args.duration, args.scenes, args.repeats, args.seed
+    )
+    payload = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(payload)
+    win = report["windowing_ebbi"]
+    hist = report["histograms"]
+    run = report["runner"]
+    print(
+        f"windowing+EBBI: {win['speedup']:.1f}x faster "
+        f"({win['seed_events_per_s']:.0f} -> {win['vectorized_events_per_s']:.0f} ev/s); "
+        f"histograms: {hist['speedup']:.1f}x; "
+        f"1 -> {run['fleet']['recordings']} recordings: "
+        f"{run['scaling']:.2f}x aggregate throughput",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,8 @@ Surveillance in IoVT using Stationary Neuromorphic Vision Sensors"
 * :mod:`repro.trackers` — the EBMS and Kalman-filter baselines.
 * :mod:`repro.evaluation` — IoU-based precision/recall evaluation.
 * :mod:`repro.resources` — the analytic compute/memory models of Eq. (1)-(8).
+* :mod:`repro.runtime` — multi-recording streaming runtime
+  (``python -m repro.runtime`` runs a synthetic fleet end to end).
 
 Quickstart::
 

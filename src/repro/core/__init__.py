@@ -17,14 +17,20 @@ one ``process_stream`` call.
 
 from repro.core.cca_rpn import ConnectedComponentRPN
 from repro.core.config import EbbiotConfig
-from repro.core.ebbi import EbbiBuilder, events_to_binary_frame
+from repro.core.ebbi import (
+    EbbiBuilder,
+    events_to_binary_frame,
+    events_to_binary_frame_batch,
+)
 from repro.core.histogram_rpn import (
     HistogramRegionProposer,
     RegionProposal,
+    compute_histograms,
     downsample_binary_frame,
     find_runs_above_threshold,
+    frame_histograms,
 )
-from repro.core.median_filter import binary_median_filter
+from repro.core.median_filter import binary_median_filter, binary_median_filter_stack
 from repro.core.overlap_tracker import OverlapTracker, OverlapTrackerConfig
 from repro.core.pipeline import EbbiotPipeline, FrameResult, PipelineResult
 from repro.core.roe import RegionOfExclusion
@@ -38,12 +44,16 @@ __all__ = [
     "EbbiotConfig",
     "EbbiBuilder",
     "events_to_binary_frame",
+    "events_to_binary_frame_batch",
     "binary_median_filter",
+    "binary_median_filter_stack",
     "HistogramRegionProposer",
     "ConnectedComponentRPN",
     "RegionProposal",
+    "compute_histograms",
     "downsample_binary_frame",
     "find_runs_above_threshold",
+    "frame_histograms",
     "OverlapTracker",
     "OverlapTrackerConfig",
     "RegionOfExclusion",

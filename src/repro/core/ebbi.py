@@ -12,11 +12,11 @@ frames, exactly the two-frame memory budget of Eq. (1)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.median_filter import binary_median_filter
+from repro.core.median_filter import binary_median_filter, binary_median_filter_stack
 from repro.events.types import EVENT_DTYPE
 
 
@@ -51,6 +51,53 @@ def events_to_binary_frame(
     return frame
 
 
+def events_to_binary_frame_batch(
+    events: np.ndarray, splits: np.ndarray, width: int, height: int
+) -> np.ndarray:
+    """Accumulate consecutive event slices into a stack of binary frames.
+
+    Window ``i`` covers ``events[splits[i]:splits[i + 1]]`` (the split
+    points come from :func:`repro.events.stream.frame_boundaries`).  All
+    windows are scattered into the output stack with one flat index
+    assignment instead of one :func:`events_to_binary_frame` call per
+    window.
+
+    Parameters
+    ----------
+    events:
+        Structured event array; polarity is ignored.
+    splits:
+        ``num_frames + 1`` monotonically non-decreasing split indices into
+        ``events``.
+    width, height:
+        Sensor resolution ``A x B``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(num_frames, height, width)`` uint8 stack with 1 where at least
+        one event occurred in that window.
+    """
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"events must have dtype {EVENT_DTYPE}, got {events.dtype}")
+    splits = np.asarray(splits, dtype=np.int64)
+    if splits.ndim != 1 or len(splits) < 1:
+        raise ValueError("splits must be a 1-D array with at least one entry")
+    num_frames = len(splits) - 1
+    frames = np.zeros((num_frames, height, width), dtype=np.uint8)
+    window_events = events[splits[0] : splits[-1]]
+    if len(window_events) == 0:
+        return frames
+    x = window_events["x"].astype(np.int64)
+    y = window_events["y"].astype(np.int64)
+    if x.min() < 0 or x.max() >= width or y.min() < 0 or y.max() >= height:
+        raise ValueError("event coordinates fall outside the frame")
+    frame_of_event = np.repeat(np.arange(num_frames, dtype=np.int64), np.diff(splits))
+    flat = (frame_of_event * height + y) * width + x
+    frames.reshape(-1)[flat] = 1
+    return frames
+
+
 @dataclass
 class EbbiFrames:
     """The raw and filtered binary frames for one ``tF`` window."""
@@ -65,6 +112,23 @@ class EbbiFrames:
     def t_mid_us(self) -> int:
         """Midpoint of the accumulation window."""
         return (self.t_start_us + self.t_end_us) // 2
+
+    def detached(self) -> "EbbiFrames":
+        """A copy that owns its frames.
+
+        Frames built by :meth:`EbbiBuilder.build_batch` are views into the
+        chunk's frame stack; retaining one would pin the whole stack.  Call
+        this before keeping a frame beyond the chunk's lifetime.
+        """
+        if self.raw.base is None and self.filtered.base is None:
+            return self
+        return EbbiFrames(
+            raw=self.raw.copy(),
+            filtered=self.filtered.copy(),
+            t_start_us=self.t_start_us,
+            t_end_us=self.t_end_us,
+            num_events=self.num_events,
+        )
 
     @property
     def active_pixel_count(self) -> int:
@@ -120,6 +184,58 @@ class EbbiBuilder:
             t_end_us=t_end_us,
             num_events=len(events),
         )
+
+    def build_batch(
+        self,
+        events: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        splits: np.ndarray,
+    ) -> List[EbbiFrames]:
+        """Accumulate a whole chunk of windows in one vectorised pass.
+
+        Equivalent to calling :meth:`build` once per window but the raw
+        accumulation (:func:`events_to_binary_frame_batch`) and the median
+        filter (:func:`binary_median_filter_stack`) both run over the full
+        stack at once.
+
+        Parameters
+        ----------
+        events:
+            Structured event array; window ``i`` is
+            ``events[splits[i]:splits[i + 1]]``.
+        starts, ends:
+            Window bounds in microseconds (length ``num_frames``).
+        splits:
+            ``num_frames + 1`` split indices into ``events`` (see
+            :func:`repro.events.stream.frame_boundaries`).
+        """
+        if len(starts) != len(ends) or len(splits) != len(starts) + 1:
+            raise ValueError(
+                f"inconsistent batch shapes: {len(starts)} starts, "
+                f"{len(ends)} ends, {len(splits)} splits"
+            )
+        raw_stack = events_to_binary_frame_batch(events, splits, self.width, self.height)
+        if self.median_patch_size in (0, 1):
+            filtered_stack = raw_stack.copy()
+        else:
+            filtered_stack = binary_median_filter_stack(raw_stack, self.median_patch_size)
+        counts = np.diff(np.asarray(splits, dtype=np.int64))
+        num_frames = len(starts)
+        self._frames_built += num_frames
+        self._total_active_fraction += float(
+            raw_stack.sum(dtype=np.int64)
+        ) / (self.width * self.height)
+        return [
+            EbbiFrames(
+                raw=raw_stack[i],
+                filtered=filtered_stack[i],
+                t_start_us=int(starts[i]),
+                t_end_us=int(ends[i]),
+                num_events=int(counts[i]),
+            )
+            for i in range(num_frames)
+        ]
 
     @property
     def frames_built(self) -> int:

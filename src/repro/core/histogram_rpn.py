@@ -86,6 +86,36 @@ def downsample_binary_frame(frame: np.ndarray, s1: int, s2: int) -> np.ndarray:
     return cropped.reshape(out_height, s2, out_width, s1).sum(axis=(1, 3))
 
 
+def frame_histograms(
+    frame: np.ndarray, s1: int, s2: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """X and Y histograms computed directly from the full-resolution frame.
+
+    Equivalent to ``compute_histograms(downsample_binary_frame(frame, s1,
+    s2))`` but skips materialising the 2-D downsampled image: each histogram
+    is one axis sum of the cropped frame folded into bins of ``s1`` (or
+    ``s2``) columns (rows).  This is the hot path of
+    :meth:`HistogramRegionProposer.propose`.
+    """
+    if frame.ndim != 2:
+        raise ValueError(f"frame must be 2-D, got shape {frame.shape}")
+    if s1 < 1 or s2 < 1:
+        raise ValueError(f"downsampling factors must be >= 1, got s1={s1} s2={s2}")
+    height, width = frame.shape
+    out_width = width // s1
+    out_height = height // s2
+    if out_width == 0 or out_height == 0:
+        raise ValueError(
+            f"downsampling factors ({s1}, {s2}) too large for frame {width}x{height}"
+        )
+    cropped = frame[: out_height * s2, : out_width * s1]
+    column_sums = cropped.sum(axis=0, dtype=np.int32)
+    row_sums = cropped.sum(axis=1, dtype=np.int32)
+    histogram_x = column_sums.reshape(out_width, s1).sum(axis=1)
+    histogram_y = row_sums.reshape(out_height, s2).sum(axis=1)
+    return histogram_x, histogram_y
+
+
 def compute_histograms(downsampled: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """X and Y histograms of the downsampled image (Eq. (4)).
 
@@ -175,39 +205,70 @@ class HistogramRegionProposer:
             Proposals in full-resolution coordinates, ordered by descending
             event count.
         """
-        downsampled = downsample_binary_frame(frame, self.downsample_x, self.downsample_y)
-        histogram_x, histogram_y = compute_histograms(downsampled)
+        histogram_x, histogram_y = frame_histograms(
+            frame, self.downsample_x, self.downsample_y
+        )
         x_runs = find_runs_above_threshold(histogram_x, self.threshold)
         y_runs = find_runs_above_threshold(histogram_y, self.threshold)
         if not x_runs or not y_runs:
             return []
 
-        proposals: List[RegionProposal] = []
         height, width = frame.shape
-        for x_start_bin, x_end_bin in x_runs:
-            for y_start_bin, y_end_bin in y_runs:
-                x1 = x_start_bin * self.downsample_x
-                x2 = min(x_end_bin * self.downsample_x, width)
-                y1 = y_start_bin * self.downsample_y
-                y2 = min(y_end_bin * self.downsample_y, height)
-                box_width = x2 - x1
-                box_height = y2 - y1
-                if box_width < self.min_region_side_px or box_height < self.min_region_side_px:
-                    continue
-                patch = frame[y1:y2, x1:x2]
-                event_count = int(np.count_nonzero(patch))
-                # Validity check in the original image: combinations of X and
-                # Y runs that do not actually contain events are spurious.
-                if event_count < self.min_event_count:
-                    continue
-                box = BoundingBox(float(x1), float(y1), float(box_width), float(box_height))
-                proposals.append(
-                    RegionProposal(
-                        box=box,
-                        event_count=event_count,
-                        density=event_count / box.area if box.area > 0 else 0.0,
-                    )
+        x_run_array = np.asarray(x_runs, dtype=np.int64)
+        y_run_array = np.asarray(y_runs, dtype=np.int64)
+        x1 = x_run_array[:, 0] * self.downsample_x
+        x2 = np.minimum(x_run_array[:, 1] * self.downsample_x, width)
+        y1 = y_run_array[:, 0] * self.downsample_y
+        y2 = np.minimum(y_run_array[:, 1] * self.downsample_y, height)
+        box_widths = x2 - x1
+        box_heights = y2 - y1
+
+        # Candidate (x-run, y-run) pairs that pass the size filter, in the
+        # x-major order of the original nested loop.
+        x_indices = np.flatnonzero(box_widths >= self.min_region_side_px)
+        y_indices = np.flatnonzero(box_heights >= self.min_region_side_px)
+        candidates = [(i, j) for i in x_indices for j in y_indices]
+        if not candidates:
+            return []
+
+        # Validity check in the original image: combinations of X and Y runs
+        # that do not actually contain events are spurious.  The typical
+        # frame has only a handful of candidates, where slicing each patch is
+        # cheapest; crowded frames amortise one summed-area table that
+        # answers every box count in a single gather.
+        if len(candidates) > 8:
+            integral = np.zeros((height + 1, width + 1), dtype=np.int32)
+            integral[1:, 1:] = (frame > 0).cumsum(axis=0, dtype=np.int32).cumsum(axis=1)
+            counts = (
+                integral[y2[None, :], x2[:, None]]
+                - integral[y1[None, :], x2[:, None]]
+                - integral[y2[None, :], x1[:, None]]
+                + integral[y1[None, :], x1[:, None]]
+            )
+            count_of = lambda i, j: int(counts[i, j])
+        else:
+            count_of = lambda i, j: int(
+                np.count_nonzero(frame[y1[j] : y2[j], x1[i] : x2[i]])
+            )
+
+        proposals: List[RegionProposal] = []
+        for x_index, y_index in candidates:
+            event_count = count_of(x_index, y_index)
+            if event_count < self.min_event_count:
+                continue
+            box = BoundingBox(
+                float(x1[x_index]),
+                float(y1[y_index]),
+                float(box_widths[x_index]),
+                float(box_heights[y_index]),
+            )
+            proposals.append(
+                RegionProposal(
+                    box=box,
+                    event_count=event_count,
+                    density=event_count / box.area if box.area > 0 else 0.0,
                 )
+            )
         proposals.sort(key=lambda proposal: proposal.event_count, reverse=True)
         return proposals
 

@@ -13,32 +13,6 @@ from __future__ import annotations
 import numpy as np
 
 
-def _box_sum(frame: np.ndarray, patch_size: int) -> np.ndarray:
-    """Sum of each ``patch_size x patch_size`` neighbourhood (zero padded).
-
-    Uses an integral image so the cost is independent of the patch size.
-    """
-    half = patch_size // 2
-    padded = np.pad(frame.astype(np.int32), half, mode="constant", constant_values=0)
-    # Integral image with a leading row/column of zeros.
-    integral = np.zeros(
-        (padded.shape[0] + 1, padded.shape[1] + 1), dtype=np.int64
-    )
-    integral[1:, 1:] = padded.cumsum(axis=0).cumsum(axis=1)
-    height, width = frame.shape
-    top = np.arange(height)
-    left = np.arange(width)
-    # For output pixel (i, j) the patch covers padded rows [i, i + p) and
-    # columns [j, j + p).
-    sums = (
-        integral[top[:, None] + patch_size, left[None, :] + patch_size]
-        - integral[top[:, None], left[None, :] + patch_size]
-        - integral[top[:, None] + patch_size, left[None, :]]
-        + integral[top[:, None], left[None, :]]
-    )
-    return sums
-
-
 def binary_median_filter(frame: np.ndarray, patch_size: int = 3) -> np.ndarray:
     """Majority-vote median filter for a binary frame.
 
@@ -58,12 +32,67 @@ def binary_median_filter(frame: np.ndarray, patch_size: int = 3) -> np.ndarray:
     """
     if frame.ndim != 2:
         raise ValueError(f"frame must be 2-D, got shape {frame.shape}")
+    return binary_median_filter_stack(frame[np.newaxis], patch_size)[0]
+
+
+def _box_sum_stack(frames: np.ndarray, patch_size: int) -> np.ndarray:
+    """Per-frame patch sums for a ``(n, height, width)`` stack of frames.
+
+    Zero-padded integral images with the cumulative sums and the 4-corner
+    gather broadcast over the leading (frame) axis, so a whole chunk of EBBI
+    frames is filtered in one pass and the cost is independent of the patch
+    size.
+    """
+    half = patch_size // 2
+    padded = np.pad(
+        frames, ((0, 0), (half, half), (half, half)), mode="constant", constant_values=0
+    )
+    # int32 is ample: integral values are bounded by the padded frame area.
+    integral = np.zeros(
+        (frames.shape[0], padded.shape[1] + 1, padded.shape[2] + 1), dtype=np.int32
+    )
+    integral[:, 1:, 1:] = padded.cumsum(axis=1, dtype=np.int32).cumsum(axis=2)
+    height, width = frames.shape[1:]
+    top = np.arange(height)
+    left = np.arange(width)
+    sums = (
+        integral[:, top[:, None] + patch_size, left[None, :] + patch_size]
+        - integral[:, top[:, None], left[None, :] + patch_size]
+        - integral[:, top[:, None] + patch_size, left[None, :]]
+        + integral[:, top[:, None], left[None, :]]
+    )
+    return sums
+
+
+def binary_median_filter_stack(frames: np.ndarray, patch_size: int = 3) -> np.ndarray:
+    """Majority-vote median filter applied to a stack of binary frames.
+
+    Vectorised equivalent of calling :func:`binary_median_filter` on each
+    ``frames[i]``; used by the batched EBBI path so chunked multi-frame
+    processing never loops over frames in Python.
+
+    Parameters
+    ----------
+    frames:
+        ``(n, height, width)`` array of 0/1 values.
+    patch_size:
+        Odd patch size ``p``; the paper uses 3.
+
+    Returns
+    -------
+    numpy.ndarray
+        uint8 stack, filtered frame by frame.
+    """
+    if frames.ndim != 3:
+        raise ValueError(f"frames must be 3-D (n, height, width), got shape {frames.shape}")
     if patch_size < 1 or patch_size % 2 == 0:
         raise ValueError(f"patch_size must be a positive odd integer, got {patch_size}")
     if patch_size == 1:
-        return (frame > 0).astype(np.uint8)
-    binary = (frame > 0).astype(np.uint8)
-    sums = _box_sum(binary, patch_size)
+        return (frames > 0).astype(np.uint8)
+    if frames.shape[0] == 0:
+        return frames.astype(np.uint8)
+    binary = (frames > 0).astype(np.uint8)
+    sums = _box_sum_stack(binary, patch_size)
     majority = patch_size * patch_size // 2
     return (sums > majority).astype(np.uint8)
 

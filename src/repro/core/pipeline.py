@@ -44,22 +44,40 @@ class FrameResult:
 
 @dataclass
 class PipelineResult:
-    """Whole-recording output of the pipeline."""
+    """Whole-recording output of the pipeline.
+
+    The ``frames_processed`` / ``proposal_count`` counters are the source of
+    truth for frame and proposal totals (use :meth:`add_frame` to keep them
+    in sync); ``frames`` holds the per-frame results, and stays empty when
+    the pipeline runs with ``collect_frames=False`` (fleet-scale runs where
+    per-frame objects for thousands of frames would dominate memory).
+    """
 
     frames: List[FrameResult] = field(default_factory=list)
     track_history: TrackHistory = field(default_factory=TrackHistory)
     mean_active_pixel_fraction: float = 0.0
     mean_events_per_frame: float = 0.0
     mean_active_trackers: float = 0.0
+    frames_processed: int = 0
+    proposal_count: int = 0
+
+    def add_frame(self, frame_result: FrameResult, keep: bool = True) -> None:
+        """Record one frame's output: counters, track history and, when
+        ``keep`` is true, the frame itself."""
+        self.frames_processed += 1
+        self.proposal_count += len(frame_result.proposals)
+        if keep:
+            self.frames.append(frame_result)
+        self.track_history.extend(frame_result.tracks)
 
     @property
     def num_frames(self) -> int:
         """Number of frames processed."""
-        return len(self.frames)
+        return self.frames_processed
 
     def total_proposals(self) -> int:
         """Total number of region proposals over the recording."""
-        return sum(len(frame.proposals) for frame in self.frames)
+        return self.proposal_count
 
     def total_track_observations(self) -> int:
         """Total number of reported track boxes over the recording."""
@@ -114,30 +132,44 @@ class EbbiotPipeline:
     ) -> FrameResult:
         """Process one accumulation window of events through all stages."""
         ebbi = self.ebbi_builder.build(events, t_start_us, t_end_us)
+        return self._process_built_frame(ebbi, frame_index)
+
+    def _process_built_frame(self, ebbi: EbbiFrames, frame_index: int) -> FrameResult:
+        """RPN + ROE + tracker stages for an already-built EBBI frame."""
         proposals = self.region_proposer.propose(ebbi.filtered)
         proposals = [
             p for p in proposals if p.box.area >= self.config.min_proposal_area
         ]
         proposals = self.roe.filter_proposals(proposals)
         tracks = self.tracker.process_frame(proposals, ebbi.t_mid_us)
-        self._total_events += len(events)
+        self._total_events += ebbi.num_events
         self._frames_processed += 1
         return FrameResult(
             frame_index=frame_index,
-            t_start_us=t_start_us,
-            t_end_us=t_end_us,
-            num_events=len(events),
+            t_start_us=ebbi.t_start_us,
+            t_end_us=ebbi.t_end_us,
+            num_events=ebbi.num_events,
             proposals=proposals,
             tracks=tracks,
-            ebbi=ebbi if self.keep_frames else None,
+            ebbi=ebbi.detached() if self.keep_frames else None,
         )
 
     # -- whole-recording processing -------------------------------------------------------
 
     def process_stream(
-        self, stream: EventStream, align_to_zero: bool = True
+        self,
+        stream: EventStream,
+        align_to_zero: bool = True,
+        chunk_frames: int = 256,
+        collect_frames: bool = True,
     ) -> PipelineResult:
         """Run the pipeline over an entire event stream.
+
+        Frame boundaries for the whole recording are resolved up front with
+        one vectorised search (:meth:`EventStream.frame_index`) and EBBI
+        frames are accumulated and median-filtered in chunks of
+        ``chunk_frames`` windows at a time; only the inherently sequential
+        RPN + tracker stages run frame by frame.
 
         Parameters
         ----------
@@ -146,15 +178,32 @@ class EbbiotPipeline:
         align_to_zero:
             Start frame windows at ``t = 0`` so frame midpoints line up with
             the simulator's ground-truth sampling instants.
+        chunk_frames:
+            Number of windows accumulated per vectorised EBBI batch.  Larger
+            chunks amortise more Python overhead at the cost of a
+            ``chunk_frames x height x width`` scratch stack.
+        collect_frames:
+            When ``False`` per-frame :class:`FrameResult` objects are
+            dropped after their tracks are recorded, keeping long fleet runs
+            at constant memory; summary statistics and the track history are
+            unaffected.
         """
+        if chunk_frames <= 0:
+            raise ValueError(f"chunk_frames must be positive, got {chunk_frames}")
         self.reset()
         result = PipelineResult()
-        for frame_index, (t_start, t_end, events) in enumerate(
-            stream.iter_frames(self.config.frame_duration_us, align_to_zero=align_to_zero)
-        ):
-            frame_result = self.process_frame_events(events, t_start, t_end, frame_index)
-            result.frames.append(frame_result)
-            result.track_history.extend(frame_result.tracks)
+        index = stream.frame_index(self.config.frame_duration_us, align_to_zero)
+        for chunk_start in range(0, index.num_frames, chunk_frames):
+            chunk_stop = min(chunk_start + chunk_frames, index.num_frames)
+            batch = self.ebbi_builder.build_batch(
+                index.events,
+                index.starts[chunk_start:chunk_stop],
+                index.ends[chunk_start:chunk_stop],
+                index.splits[chunk_start : chunk_stop + 1],
+            )
+            for offset, ebbi in enumerate(batch):
+                frame_result = self._process_built_frame(ebbi, chunk_start + offset)
+                result.add_frame(frame_result, keep=collect_frames)
         result.mean_active_pixel_fraction = self.ebbi_builder.mean_active_pixel_fraction
         result.mean_events_per_frame = self.mean_events_per_frame
         result.mean_active_trackers = self.tracker.mean_active_trackers

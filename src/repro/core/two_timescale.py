@@ -140,8 +140,7 @@ class TwoTimescalePipeline:
             frame = self.fast_pipeline.process_frame_events(
                 events, t_start, t_end, frame_index
             )
-            fast_result.frames.append(frame)
-            fast_result.track_history.extend(frame.tracks)
+            fast_result.add_frame(frame)
 
             if pending_start is None:
                 pending_start = t_start
@@ -150,8 +149,7 @@ class TwoTimescalePipeline:
                 slow_frame = self._process_slow_window(
                     pending_events, pending_start, t_end, slow_index
                 )
-                slow_result.frames.append(slow_frame)
-                slow_result.track_history.extend(slow_frame.tracks)
+                slow_result.add_frame(slow_frame)
                 pending_events = []
                 pending_start = None
                 slow_index += 1

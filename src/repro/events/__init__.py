@@ -17,7 +17,7 @@ from repro.events.io import (
     save_recording,
 )
 from repro.events.noise import BackgroundActivityNoise, HotPixelNoise
-from repro.events.stream import EventStream, frame_windows
+from repro.events.stream import EventStream, FrameIndex, frame_boundaries, frame_windows
 from repro.events.types import (
     EVENT_DTYPE,
     OFF_POLARITY,
@@ -37,6 +37,8 @@ __all__ = [
     "empty_packet",
     "concatenate_packets",
     "EventStream",
+    "FrameIndex",
+    "frame_boundaries",
     "frame_windows",
     "BackgroundActivityNoise",
     "HotPixelNoise",

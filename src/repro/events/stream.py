@@ -23,6 +23,92 @@ from repro.events.types import (
 )
 
 
+def frame_boundaries(
+    timestamps: np.ndarray,
+    frame_duration_us: int,
+    t_start: int,
+    t_end: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute all fixed-duration window edges and event split points at once.
+
+    One vectorised :func:`numpy.searchsorted` over the full edge array
+    replaces the per-window pair of searches the per-frame loop needs, which
+    is what makes long-recording framing cheap (see
+    ``benchmarks/bench_runtime_throughput.py``).
+
+    Parameters
+    ----------
+    timestamps:
+        Sorted event timestamps in microseconds.
+    frame_duration_us:
+        Window length ``tF`` in microseconds.
+    t_start, t_end:
+        Stream bounds; windows cover ``[t_start, t_end)`` (the final window
+        may extend past ``t_end``).
+
+    Returns
+    -------
+    (edges, splits)
+        ``edges`` holds the ``num_windows + 1`` window boundaries; window
+        ``i`` spans ``[edges[i], edges[i + 1])`` and contains
+        ``timestamps[splits[i]:splits[i + 1]]``.
+    """
+    if frame_duration_us <= 0:
+        raise ValueError(f"frame_duration_us must be positive, got {frame_duration_us}")
+    if t_end <= t_start:
+        edges = np.asarray([t_start], dtype=np.int64)
+        return edges, np.zeros(1, dtype=np.int64)
+    num_windows = -(-(t_end - t_start) // frame_duration_us)
+    edges = t_start + frame_duration_us * np.arange(num_windows + 1, dtype=np.int64)
+    splits = np.searchsorted(timestamps, edges, side="left").astype(np.int64)
+    return edges, splits
+
+
+@dataclass(frozen=True)
+class FrameIndex:
+    """Precomputed frame-window partition of an event array.
+
+    Produced by :meth:`EventStream.frame_index`; the batched EBBI path
+    (:meth:`repro.core.ebbi.EbbiBuilder.build_batch`) and the runtime layer
+    consume it directly instead of iterating windows one at a time.
+    """
+
+    events: np.ndarray
+    edges: np.ndarray
+    splits: np.ndarray
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frame windows in the partition."""
+        return len(self.edges) - 1
+
+    @property
+    def starts(self) -> np.ndarray:
+        """Window start times (length ``num_frames``)."""
+        return self.edges[:-1]
+
+    @property
+    def ends(self) -> np.ndarray:
+        """Window end times (length ``num_frames``)."""
+        return self.edges[1:]
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Events per window (length ``num_frames``)."""
+        return np.diff(self.splits)
+
+    def frame_events(self, index: int) -> np.ndarray:
+        """The events of window ``index`` (a view, not a copy)."""
+        return self.events[self.splits[index] : self.splits[index + 1]]
+
+    def __len__(self) -> int:
+        return self.num_frames
+
+    def __iter__(self) -> Iterator[Tuple[int, int, np.ndarray]]:
+        for i in range(self.num_frames):
+            yield int(self.edges[i]), int(self.edges[i + 1]), self.frame_events(i)
+
+
 def frame_windows(
     events: np.ndarray,
     frame_duration_us: int,
@@ -61,14 +147,9 @@ def frame_windows(
     if t_end <= t_start:
         return
 
-    timestamps = events["t"]
-    window_start = t_start
-    while window_start < t_end:
-        window_end = window_start + frame_duration_us
-        lo = np.searchsorted(timestamps, window_start, side="left")
-        hi = np.searchsorted(timestamps, window_end, side="left")
-        yield window_start, window_end, events[lo:hi]
-        window_start = window_end
+    edges, splits = frame_boundaries(events["t"], frame_duration_us, t_start, t_end)
+    for i in range(len(edges) - 1):
+        yield int(edges[i]), int(edges[i + 1]), events[splits[i] : splits[i + 1]]
 
 
 @dataclass
@@ -166,6 +247,26 @@ class EventStream:
         yield from frame_windows(
             self.events, frame_duration_us, t_start=t_start, t_end=None
         )
+
+    def frame_index(
+        self, frame_duration_us: int, align_to_zero: bool = False
+    ) -> FrameIndex:
+        """Precompute the full frame-window partition of the stream.
+
+        The returned :class:`FrameIndex` resolves every window boundary with
+        a single vectorised ``searchsorted``, so batched consumers (the
+        pipeline's chunked path, the runtime layer) never touch the
+        per-window Python loop.  Yields the same windows as
+        :meth:`iter_frames`.
+        """
+        if len(self.events) == 0:
+            edges = np.zeros(1, dtype=np.int64)
+            return FrameIndex(self.events, edges, np.zeros(1, dtype=np.int64))
+        t_start = 0 if align_to_zero else self.t_start
+        edges, splits = frame_boundaries(
+            self.events["t"], frame_duration_us, t_start, self.t_end + 1
+        )
+        return FrameIndex(self.events, edges, splits)
 
     def num_frames(self, frame_duration_us: int, align_to_zero: bool = False) -> int:
         """Number of frame windows :meth:`iter_frames` would yield."""

@@ -1,0 +1,44 @@
+"""Multi-recording streaming runtime.
+
+The paper targets fleets of stationary sensors; this package is the layer
+that runs the single-recording pipeline of :mod:`repro.core` over many
+recordings at once:
+
+* :mod:`repro.runtime.runner` — :class:`StreamRunner` schedules one
+  pipeline per recording on a serial, thread- or process-pool executor.
+* :mod:`repro.runtime.aggregate` — :class:`RecordingResult` and
+  :class:`BatchResult` merge per-recording statistics (``alpha``, events
+  per frame, active trackers, CLEAR-MOT) into fleet-level numbers.
+* :mod:`repro.runtime.scenes` — synthetic fleet builders for demos, tests
+  and benchmarks.
+* ``python -m repro.runtime`` — CLI running N synthetic scenes end to end
+  (see :mod:`repro.runtime.__main__`).
+"""
+
+from repro.runtime.aggregate import BatchResult, RecordingResult, merge_mot_summaries
+from repro.runtime.runner import (
+    EXECUTORS,
+    RecordingJob,
+    RunnerConfig,
+    StreamRunner,
+    run_recording,
+)
+from repro.runtime.scenes import (
+    build_scene_jobs,
+    build_scene_recordings,
+    jobs_from_recordings,
+)
+
+__all__ = [
+    "BatchResult",
+    "RecordingResult",
+    "merge_mot_summaries",
+    "EXECUTORS",
+    "RecordingJob",
+    "RunnerConfig",
+    "StreamRunner",
+    "run_recording",
+    "build_scene_jobs",
+    "build_scene_recordings",
+    "jobs_from_recordings",
+]

@@ -1,0 +1,265 @@
+"""Fleet-level aggregation of per-recording pipeline results.
+
+A surveillance deployment runs one EBBIOT pipeline per stationary sensor;
+what the operator monitors is the fleet: total event throughput, the mean
+activity statistics that drive the paper's resource models (``alpha``,
+events per frame ``n``, active trackers ``NT``), and tracking quality over
+all sites.  :class:`RecordingResult` is the compact per-recording summary a
+:class:`~repro.runtime.runner.StreamRunner` worker returns (it is
+pickle-friendly so results can cross process boundaries), and
+:class:`BatchResult` merges many of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.mot_metrics import MotSummary
+
+
+def merge_mot_summaries(summaries: Sequence[MotSummary]) -> Optional[MotSummary]:
+    """Merge per-recording MOT summaries into one fleet-level summary.
+
+    Error counts (misses, false positives, identity switches) and box
+    counts add across recordings; MOTA is recomputed from the pooled counts
+    and MOTP is the match-weighted mean IoU, exactly what evaluating the
+    concatenation of all recordings would give.
+    """
+    if not summaries:
+        return None
+    misses = sum(s.num_misses for s in summaries)
+    false_positives = sum(s.num_false_positives for s in summaries)
+    id_switches = sum(s.num_id_switches for s in summaries)
+    ground_truth = sum(s.num_ground_truth_boxes for s in summaries)
+    matches = sum(s.num_matches for s in summaries)
+    if ground_truth > 0:
+        mota = 1.0 - (misses + false_positives + id_switches) / ground_truth
+    else:
+        mota = 0.0
+    if matches > 0:
+        motp = sum(s.motp * s.num_matches for s in summaries) / matches
+    else:
+        motp = 0.0
+    return MotSummary(
+        mota=mota,
+        motp=motp,
+        num_misses=misses,
+        num_false_positives=false_positives,
+        num_id_switches=id_switches,
+        num_ground_truth_boxes=ground_truth,
+        num_matches=matches,
+    )
+
+
+@dataclass(frozen=True)
+class RecordingResult:
+    """Summary of one recording processed by the runtime.
+
+    Attributes
+    ----------
+    name:
+        Recording identifier (site name, file stem, ...).
+    num_events, num_frames:
+        Raw event and frame counts of the recording.
+    duration_s:
+        Recording duration in (sensor) seconds.
+    wall_time_s:
+        Wall-clock time the pipeline spent on this recording.
+    mean_active_pixel_fraction, mean_events_per_frame, mean_active_trackers:
+        The paper's ``alpha``, ``n`` and ``NT`` statistics.
+    num_tracks, num_track_observations, num_proposals:
+        Tracker output volume.
+    mot:
+        CLEAR-MOT summary against ground truth, when the job carried
+        annotations.
+    """
+
+    name: str
+    num_events: int
+    num_frames: int
+    duration_s: float
+    wall_time_s: float
+    mean_active_pixel_fraction: float
+    mean_events_per_frame: float
+    mean_active_trackers: float
+    num_tracks: int
+    num_track_observations: int
+    num_proposals: int
+    mot: Optional[MotSummary] = None
+
+    @property
+    def events_per_second(self) -> float:
+        """Processing throughput in events per wall-clock second."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.num_events / self.wall_time_s
+
+    @property
+    def realtime_factor(self) -> float:
+        """Sensor seconds processed per wall-clock second (>1 is realtime)."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.duration_s / self.wall_time_s
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "num_events": self.num_events,
+            "num_frames": self.num_frames,
+            "duration_s": self.duration_s,
+            "wall_time_s": self.wall_time_s,
+            "events_per_second": self.events_per_second,
+            "realtime_factor": self.realtime_factor,
+            "mean_active_pixel_fraction": self.mean_active_pixel_fraction,
+            "mean_events_per_frame": self.mean_events_per_frame,
+            "mean_active_trackers": self.mean_active_trackers,
+            "num_tracks": self.num_tracks,
+            "num_track_observations": self.num_track_observations,
+            "num_proposals": self.num_proposals,
+            "mot": self.mot.to_dict() if self.mot is not None else None,
+        }
+
+
+@dataclass
+class BatchResult:
+    """Merged result of running the pipeline over a fleet of recordings."""
+
+    recordings: List[RecordingResult] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.recordings)
+
+    # -- fleet totals -------------------------------------------------------------------
+
+    @property
+    def total_events(self) -> int:
+        """Events processed across all recordings."""
+        return sum(r.num_events for r in self.recordings)
+
+    @property
+    def total_frames(self) -> int:
+        """Frames processed across all recordings."""
+        return sum(r.num_frames for r in self.recordings)
+
+    @property
+    def total_duration_s(self) -> float:
+        """Total sensor time across all recordings."""
+        return sum(r.duration_s for r in self.recordings)
+
+    @property
+    def total_tracks(self) -> int:
+        """Distinct tracks summed over recordings."""
+        return sum(r.num_tracks for r in self.recordings)
+
+    @property
+    def events_per_second(self) -> float:
+        """Aggregate throughput: total events over batch wall-clock time.
+
+        With concurrent execution this exceeds the per-recording rates'
+        harmonic combination — it is the number the 1-vs-N scaling
+        benchmark tracks.
+        """
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.total_events / self.wall_time_s
+
+    # -- fleet means --------------------------------------------------------------------
+
+    def _frame_weighted_mean(self, values: Sequence[float]) -> float:
+        weights = [r.num_frames for r in self.recordings]
+        total = sum(weights)
+        if total == 0:
+            return 0.0
+        return sum(v * w for v, w in zip(values, weights)) / total
+
+    @property
+    def mean_active_pixel_fraction(self) -> float:
+        """Fleet ``alpha``: frame-weighted mean over recordings."""
+        return self._frame_weighted_mean(
+            [r.mean_active_pixel_fraction for r in self.recordings]
+        )
+
+    @property
+    def mean_events_per_frame(self) -> float:
+        """Fleet ``n``: total events over total frames."""
+        if self.total_frames == 0:
+            return 0.0
+        return self.total_events / self.total_frames
+
+    @property
+    def mean_active_trackers(self) -> float:
+        """Fleet ``NT``: frame-weighted mean over recordings."""
+        return self._frame_weighted_mean(
+            [r.mean_active_trackers for r in self.recordings]
+        )
+
+    @property
+    def mot(self) -> Optional[MotSummary]:
+        """Pooled CLEAR-MOT summary over the recordings that carried GT."""
+        return merge_mot_summaries(
+            [r.mot for r in self.recordings if r.mot is not None]
+        )
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def fleet_summary(self) -> Dict[str, object]:
+        """JSON-serialisable fleet-level statistics."""
+        mot = self.mot
+        return {
+            "num_recordings": len(self.recordings),
+            "total_events": self.total_events,
+            "total_frames": self.total_frames,
+            "total_duration_s": self.total_duration_s,
+            "total_tracks": self.total_tracks,
+            "wall_time_s": self.wall_time_s,
+            "events_per_second": self.events_per_second,
+            "mean_active_pixel_fraction": self.mean_active_pixel_fraction,
+            "mean_events_per_frame": self.mean_events_per_frame,
+            "mean_active_trackers": self.mean_active_trackers,
+            "mot": mot.to_dict() if mot is not None else None,
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (per-recording + fleet)."""
+        return {
+            "recordings": [r.to_dict() for r in self.recordings],
+            "fleet": self.fleet_summary(),
+        }
+
+    def format_table(self) -> str:
+        """Human-readable per-recording table plus fleet summary lines."""
+        header = (
+            f"{'recording':<12} {'events':>10} {'frames':>7} {'ev/s':>10} "
+            f"{'alpha':>8} {'n':>8} {'NT':>5} {'tracks':>7} {'MOTA':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for r in self.recordings:
+            mota = f"{r.mot.mota:7.3f}" if r.mot is not None else "      -"
+            lines.append(
+                f"{r.name:<12} {r.num_events:>10} {r.num_frames:>7} "
+                f"{r.events_per_second:>10.0f} {r.mean_active_pixel_fraction:>8.4f} "
+                f"{r.mean_events_per_frame:>8.1f} {r.mean_active_trackers:>5.2f} "
+                f"{r.num_tracks:>7} {mota}"
+            )
+        lines.append("-" * len(header))
+        mot = self.mot
+        lines.append(
+            f"fleet: {len(self.recordings)} recordings, "
+            f"{self.total_events} events in {self.total_frames} frames "
+            f"({self.total_duration_s:.1f} s of sensor time)"
+        )
+        lines.append(
+            f"fleet: {self.events_per_second:.0f} ev/s over {self.wall_time_s:.2f} s "
+            f"wall clock, alpha={self.mean_active_pixel_fraction:.4f}, "
+            f"n={self.mean_events_per_frame:.1f}, NT={self.mean_active_trackers:.2f}"
+        )
+        if mot is not None:
+            lines.append(
+                f"fleet: MOTA={mot.mota:.3f} MOTP={mot.motp:.3f} "
+                f"(misses={mot.num_misses}, false positives={mot.num_false_positives}, "
+                f"id switches={mot.num_id_switches})"
+            )
+        return "\n".join(lines)

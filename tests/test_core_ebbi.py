@@ -87,3 +87,142 @@ class TestEbbiBuilder:
 
     def test_mean_fraction_zero_before_any_frames(self):
         assert EbbiBuilder(240, 180).mean_active_pixel_fraction == 0.0
+
+
+class TestEventsToBinaryFrameBatch:
+    def _random_packet(self, num_events, duration, seed, width=240, height=180):
+        rng = np.random.default_rng(seed)
+        ts = np.sort(rng.integers(0, duration, size=num_events))
+        return make_packet(
+            rng.integers(0, width, size=num_events),
+            rng.integers(0, height, size=num_events),
+            ts,
+            np.where(rng.random(num_events) < 0.5, 1, -1),
+        )
+
+    def test_batch_matches_per_frame_accumulation(self):
+        from repro.core.ebbi import events_to_binary_frame_batch
+        from repro.events.stream import frame_boundaries
+
+        packet = self._random_packet(500, 1_000_000, seed=7)
+        edges, splits = frame_boundaries(packet["t"], 66_000, 0, 1_000_000)
+        stack = events_to_binary_frame_batch(packet, splits, 240, 180)
+        assert stack.shape == (len(edges) - 1, 180, 240)
+        for i in range(len(edges) - 1):
+            expected = events_to_binary_frame(
+                packet[splits[i] : splits[i + 1]], 240, 180
+            )
+            np.testing.assert_array_equal(stack[i], expected)
+
+    def test_batch_with_empty_windows(self):
+        from repro.core.ebbi import events_to_binary_frame_batch
+
+        packet = make_packet([1, 2], [1, 2], [0, 500_000], [1, 1])
+        splits = np.array([0, 1, 1, 1, 2])
+        stack = events_to_binary_frame_batch(packet, splits, 240, 180)
+        assert stack[0].sum() == 1
+        assert stack[1].sum() == 0
+        assert stack[2].sum() == 0
+        assert stack[3].sum() == 1
+
+    def test_batch_empty_packet(self):
+        from repro.core.ebbi import events_to_binary_frame_batch
+
+        stack = events_to_binary_frame_batch(
+            make_packet([], [], [], []), np.array([0, 0, 0]), 240, 180
+        )
+        assert stack.shape == (2, 180, 240)
+        assert stack.sum() == 0
+
+    def test_batch_out_of_bounds_rejected(self):
+        from repro.core.ebbi import events_to_binary_frame_batch
+
+        with pytest.raises(ValueError):
+            events_to_binary_frame_batch(
+                make_packet([240], [0], [0], [1]), np.array([0, 1]), 240, 180
+            )
+
+    def test_batch_wrong_dtype_rejected(self):
+        from repro.core.ebbi import events_to_binary_frame_batch
+
+        with pytest.raises(TypeError):
+            events_to_binary_frame_batch(np.zeros(3), np.array([0, 3]), 240, 180)
+
+
+class TestEbbiBuilderBatch:
+    def test_build_batch_matches_sequential_builds(self):
+        from repro.events.stream import frame_boundaries
+
+        rng = np.random.default_rng(11)
+        num_events = 400
+        ts = np.sort(rng.integers(0, 500_000, size=num_events))
+        packet = make_packet(
+            rng.integers(0, 240, size=num_events),
+            rng.integers(0, 180, size=num_events),
+            ts,
+            np.ones(num_events, dtype=int),
+        )
+        edges, splits = frame_boundaries(packet["t"], 66_000, 0, 500_000)
+
+        sequential = EbbiBuilder(240, 180, median_patch_size=3)
+        expected = [
+            sequential.build(
+                packet[splits[i] : splits[i + 1]], int(edges[i]), int(edges[i + 1])
+            )
+            for i in range(len(edges) - 1)
+        ]
+
+        batched = EbbiBuilder(240, 180, median_patch_size=3)
+        got = batched.build_batch(packet, edges[:-1], edges[1:], splits)
+
+        assert len(got) == len(expected)
+        for g, e in zip(got, expected):
+            np.testing.assert_array_equal(g.raw, e.raw)
+            np.testing.assert_array_equal(g.filtered, e.filtered)
+            assert g.t_start_us == e.t_start_us
+            assert g.t_end_us == e.t_end_us
+            assert g.num_events == e.num_events
+        assert batched.frames_built == sequential.frames_built
+        assert batched.mean_active_pixel_fraction == pytest.approx(
+            sequential.mean_active_pixel_fraction
+        )
+
+    def test_build_batch_disabled_median_filter(self):
+        builder = EbbiBuilder(32, 32, median_patch_size=0)
+        packet = make_packet([3, 4], [5, 6], [0, 10], [1, 1])
+        frames = builder.build_batch(
+            packet, np.array([0]), np.array([100]), np.array([0, 2])
+        )
+        np.testing.assert_array_equal(frames[0].raw, frames[0].filtered)
+
+    def test_build_batch_shape_mismatch_rejected(self):
+        builder = EbbiBuilder(32, 32)
+        packet = make_packet([1], [1], [0], [1])
+        with pytest.raises(ValueError):
+            builder.build_batch(packet, np.array([0]), np.array([100]), np.array([0]))
+
+
+class TestEbbiFramesDetached:
+    def test_batch_frames_detach_to_owned_arrays(self):
+        builder = EbbiBuilder(32, 32)
+        packet = make_packet([1, 2], [1, 2], [0, 10], [1, 1])
+        frames = builder.build_batch(
+            packet, np.array([0]), np.array([100]), np.array([0, 2])
+        )
+        assert frames[0].raw.base is not None  # view into the chunk stack
+        detached = frames[0].detached()
+        assert detached.raw.base is None
+        assert detached.filtered.base is None
+        np.testing.assert_array_equal(detached.raw, frames[0].raw)
+
+    def test_owned_frames_detach_to_self(self):
+        from repro.core.ebbi import EbbiFrames
+
+        frame = EbbiFrames(
+            raw=np.zeros((32, 32), dtype=np.uint8),
+            filtered=np.zeros((32, 32), dtype=np.uint8),
+            t_start_us=0,
+            t_end_us=100,
+            num_events=0,
+        )
+        assert frame.detached() is frame

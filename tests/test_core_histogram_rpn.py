@@ -195,3 +195,99 @@ class TestHistogramRegionProposer:
         proposal = HistogramRegionProposer().propose(_frame_with_block(60, 60, 30, 15))[0]
         data = proposal.to_dict()
         assert set(data) == {"x", "y", "width", "height", "event_count", "density"}
+
+
+class TestFrameHistograms:
+    @given(
+        frame=hnp.arrays(
+            dtype=np.uint8,
+            shape=st.tuples(
+                st.integers(min_value=6, max_value=60),
+                st.integers(min_value=6, max_value=60),
+            ),
+            elements=st.integers(min_value=0, max_value=1),
+        ),
+        s1=st.integers(min_value=1, max_value=6),
+        s2=st.integers(min_value=1, max_value=6),
+    )
+    def test_matches_downsample_then_sum(self, frame, s1, s2):
+        from repro.core.histogram_rpn import frame_histograms
+
+        hx, hy = frame_histograms(frame, s1, s2)
+        expected_hx, expected_hy = compute_histograms(
+            downsample_binary_frame(frame, s1, s2)
+        )
+        np.testing.assert_array_equal(hx, expected_hx)
+        np.testing.assert_array_equal(hy, expected_hy)
+
+    def test_rejects_bad_factors(self):
+        from repro.core.histogram_rpn import frame_histograms
+
+        with pytest.raises(ValueError):
+            frame_histograms(np.zeros((10, 10), dtype=np.uint8), 0, 1)
+        with pytest.raises(ValueError):
+            frame_histograms(np.zeros((4, 4), dtype=np.uint8), 8, 8)
+        with pytest.raises(ValueError):
+            frame_histograms(np.zeros(10, dtype=np.uint8), 1, 1)
+
+
+def _reference_propose(proposer: HistogramRegionProposer, frame: np.ndarray):
+    """The seed's per-candidate loop, kept as the behavioural reference."""
+    from repro.utils.geometry import BoundingBox
+    from repro.core.histogram_rpn import RegionProposal
+
+    downsampled = downsample_binary_frame(
+        frame, proposer.downsample_x, proposer.downsample_y
+    )
+    histogram_x, histogram_y = compute_histograms(downsampled)
+    x_runs = find_runs_above_threshold(histogram_x, proposer.threshold)
+    y_runs = find_runs_above_threshold(histogram_y, proposer.threshold)
+    if not x_runs or not y_runs:
+        return []
+    proposals = []
+    height, width = frame.shape
+    for x_start_bin, x_end_bin in x_runs:
+        for y_start_bin, y_end_bin in y_runs:
+            x1 = x_start_bin * proposer.downsample_x
+            x2 = min(x_end_bin * proposer.downsample_x, width)
+            y1 = y_start_bin * proposer.downsample_y
+            y2 = min(y_end_bin * proposer.downsample_y, height)
+            bw, bh = x2 - x1, y2 - y1
+            if bw < proposer.min_region_side_px or bh < proposer.min_region_side_px:
+                continue
+            event_count = int(np.count_nonzero(frame[y1:y2, x1:x2]))
+            if event_count < proposer.min_event_count:
+                continue
+            box = BoundingBox(float(x1), float(y1), float(bw), float(bh))
+            proposals.append(
+                RegionProposal(
+                    box=box,
+                    event_count=event_count,
+                    density=event_count / box.area if box.area > 0 else 0.0,
+                )
+            )
+    proposals.sort(key=lambda p: p.event_count, reverse=True)
+    return proposals
+
+
+class TestVectorizedProposeEquivalence:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        density=st.floats(min_value=0.0, max_value=0.15),
+    )
+    def test_matches_reference_loop_on_random_frames(self, seed, density):
+        rng = np.random.default_rng(seed)
+        frame = (rng.random((90, 120)) < density).astype(np.uint8)
+        proposer = HistogramRegionProposer(downsample_x=6, downsample_y=3)
+        got = proposer.propose(frame)
+        expected = _reference_propose(proposer, frame)
+        assert got == expected
+
+    def test_matches_reference_on_multi_object_frame(self):
+        frame = np.zeros((180, 240), dtype=np.uint8)
+        frame[30:60, 20:70] = 1    # car
+        frame[100:120, 150:170] = 1  # bike
+        frame[40:55, 160:200] = 1   # second car sharing y band with the first
+        proposer = HistogramRegionProposer()
+        assert proposer.propose(frame) == _reference_propose(proposer, frame)

@@ -119,3 +119,35 @@ class TestSaltAndPepperCounter:
         frame = np.zeros((10, 10), dtype=np.uint8)
         frame[2:8, 2:8] = 1
         assert count_salt_and_pepper(frame) <= 4  # only block corners may count
+
+
+class TestBinaryMedianFilterStack:
+    def test_stack_matches_per_frame_filter(self):
+        from repro.core.median_filter import binary_median_filter_stack
+
+        rng = np.random.default_rng(3)
+        frames = (rng.random((5, 40, 60)) < 0.2).astype(np.uint8)
+        for patch in (1, 3, 5):
+            stacked = binary_median_filter_stack(frames, patch)
+            for i in range(frames.shape[0]):
+                np.testing.assert_array_equal(
+                    stacked[i], binary_median_filter(frames[i], patch)
+                )
+
+    def test_stack_empty(self):
+        from repro.core.median_filter import binary_median_filter_stack
+
+        out = binary_median_filter_stack(np.zeros((0, 8, 8), dtype=np.uint8), 3)
+        assert out.shape == (0, 8, 8)
+
+    def test_stack_rejects_2d_input(self):
+        from repro.core.median_filter import binary_median_filter_stack
+
+        with pytest.raises(ValueError):
+            binary_median_filter_stack(np.zeros((8, 8), dtype=np.uint8), 3)
+
+    def test_stack_rejects_even_patch(self):
+        from repro.core.median_filter import binary_median_filter_stack
+
+        with pytest.raises(ValueError):
+            binary_median_filter_stack(np.zeros((1, 8, 8), dtype=np.uint8), 2)

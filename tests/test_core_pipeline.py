@@ -116,3 +116,102 @@ class TestPipelineMechanics:
         strict = EbbiotPipeline(EbbiotConfig(min_proposal_area=10_000.0))
         result = strict.process_stream(constant_velocity_stream)
         assert result.total_proposals() == 0
+
+
+def _block_packet(frame_positions, block=6, frame_duration_us=100):
+    """One 6x6 block of active pixels per frame, at the given (x, y) corners."""
+    xs, ys, ts = [], [], []
+    for frame_index, (x0, y0) in enumerate(frame_positions):
+        t = frame_index * frame_duration_us + 10
+        for dy in range(block):
+            for dx in range(block):
+                xs.append(x0 + dx)
+                ys.append(y0 + dy)
+                ts.append(t)
+    from repro.events.types import make_packet
+
+    return make_packet(xs, ys, ts, [1] * len(xs))
+
+
+class TestProcessStreamSummaryStatistics:
+    """Hand-computed alpha / n / NT on a tiny fixed stream (3 frames)."""
+
+    def _stream(self):
+        packet = _block_packet([(60, 60), (62, 60), (64, 60)])
+        return EventStream(packet, 240, 180)
+
+    def _pipeline(self):
+        return EbbiotPipeline(
+            EbbiotConfig(frame_duration_us=100, min_proposal_area=4.0)
+        )
+
+    def test_mean_events_per_frame(self):
+        result = self._pipeline().process_stream(self._stream())
+        # 36 events in each of the 3 frames.
+        assert result.num_frames == 3
+        assert result.mean_events_per_frame == pytest.approx(36.0)
+
+    def test_mean_active_pixel_fraction(self):
+        result = self._pipeline().process_stream(self._stream())
+        # Each frame has exactly 36 active pixels out of 240 x 180.
+        assert result.mean_active_pixel_fraction == pytest.approx(36 / (240 * 180))
+
+    def test_mean_active_trackers(self):
+        result = self._pipeline().process_stream(self._stream())
+        # The single block allocates one tracker in frame 0 and keeps
+        # matching it, so every frame ends with exactly one active slot.
+        assert result.mean_active_trackers == pytest.approx(1.0)
+
+    def test_statistics_survive_collect_frames_false(self):
+        reference = self._pipeline().process_stream(self._stream())
+        compact = self._pipeline().process_stream(
+            self._stream(), collect_frames=False
+        )
+        assert compact.frames == []
+        assert compact.num_frames == reference.num_frames
+        assert compact.total_proposals() == reference.total_proposals()
+        assert compact.mean_events_per_frame == pytest.approx(
+            reference.mean_events_per_frame
+        )
+        assert compact.mean_active_pixel_fraction == pytest.approx(
+            reference.mean_active_pixel_fraction
+        )
+        assert compact.mean_active_trackers == pytest.approx(
+            reference.mean_active_trackers
+        )
+        assert len(compact.track_history) == len(reference.track_history)
+
+
+class TestChunkedProcessing:
+    def test_chunk_size_does_not_change_results(self, constant_velocity_stream):
+        reference = EbbiotPipeline(
+            EbbiotConfig(min_proposal_area=4.0)
+        ).process_stream(constant_velocity_stream, chunk_frames=1)
+        for chunk_frames in (2, 7, 1024):
+            result = EbbiotPipeline(
+                EbbiotConfig(min_proposal_area=4.0)
+            ).process_stream(constant_velocity_stream, chunk_frames=chunk_frames)
+            assert result.num_frames == reference.num_frames
+            assert result.total_proposals() == reference.total_proposals()
+            assert [o.to_dict() for o in result.track_history.observations] == [
+                o.to_dict() for o in reference.track_history.observations
+            ]
+            assert result.mean_active_pixel_fraction == pytest.approx(
+                reference.mean_active_pixel_fraction
+            )
+
+    def test_chunked_matches_lazy_iteration(self, constant_velocity_stream):
+        pipeline = EbbiotPipeline(EbbiotConfig(min_proposal_area=4.0))
+        eager = pipeline.process_stream(constant_velocity_stream, chunk_frames=16)
+        pipeline_lazy = EbbiotPipeline(EbbiotConfig(min_proposal_area=4.0))
+        lazy = list(pipeline_lazy.iter_stream(constant_velocity_stream))
+        assert len(lazy) == eager.num_frames
+        for lazy_frame, eager_frame in zip(lazy, eager.frames):
+            assert lazy_frame.num_events == eager_frame.num_events
+            assert lazy_frame.proposals == eager_frame.proposals
+
+    def test_invalid_chunk_frames_rejected(self, constant_velocity_stream):
+        with pytest.raises(ValueError):
+            EbbiotPipeline().process_stream(
+                constant_velocity_stream, chunk_frames=0
+            )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.events.stream import EventStream, frame_windows
 from repro.events.types import empty_packet, make_packet
@@ -140,3 +140,86 @@ class TestStreamProperties:
         # Windows tile the time axis without gaps.
         for (s1, e1, _), (s2, _, _) in zip(windows, windows[1:]):
             assert e1 == s2
+
+
+class TestFrameBoundariesAndIndex:
+    def test_boundaries_match_frame_windows(self):
+        from repro.events.stream import frame_boundaries
+
+        packet = _packet_spanning(1_000_000, 137)
+        edges, splits = frame_boundaries(packet["t"], 66_000, 0, 1_000_000)
+        expected = list(frame_windows(packet, 66_000, t_start=0, t_end=1_000_000))
+        assert len(edges) - 1 == len(expected)
+        for i, (t_start, t_end, events) in enumerate(expected):
+            assert edges[i] == t_start
+            assert edges[i + 1] == t_end
+            np.testing.assert_array_equal(packet[splits[i] : splits[i + 1]], events)
+
+    def test_boundaries_degenerate_range(self):
+        from repro.events.stream import frame_boundaries
+
+        packet = _packet_spanning(1_000, 10)
+        edges, splits = frame_boundaries(packet["t"], 100, 50, 50)
+        assert len(edges) == 1 and len(splits) == 1
+
+    def test_frame_index_matches_iter_frames(self):
+        packet = _packet_spanning(700_000, 81)
+        stream = EventStream(packet)
+        for align in (False, True):
+            index = stream.frame_index(66_000, align_to_zero=align)
+            windows = list(stream.iter_frames(66_000, align_to_zero=align))
+            assert index.num_frames == len(windows)
+            for i, (t_start, t_end, events) in enumerate(windows):
+                assert index.starts[i] == t_start
+                assert index.ends[i] == t_end
+                np.testing.assert_array_equal(index.frame_events(i), events)
+            assert int(index.counts.sum()) == len(packet)
+
+    def test_frame_index_iterates_like_iter_frames(self):
+        packet = _packet_spanning(300_000, 20)
+        stream = EventStream(packet)
+        iterated = list(stream.frame_index(66_000, align_to_zero=True))
+        direct = list(stream.iter_frames(66_000, align_to_zero=True))
+        assert len(iterated) == len(direct)
+        for (s1, e1, ev1), (s2, e2, ev2) in zip(iterated, direct):
+            assert (s1, e1) == (s2, e2)
+            np.testing.assert_array_equal(ev1, ev2)
+
+    def test_frame_index_empty_stream(self):
+        stream = EventStream(empty_packet())
+        index = stream.frame_index(66_000)
+        assert index.num_frames == 0
+        assert list(index) == []
+
+    def test_frame_index_num_frames_matches_num_frames_method(self):
+        packet = _packet_spanning(900_000, 33)
+        stream = EventStream(packet)
+        for align in (False, True):
+            index = stream.frame_index(66_000, align_to_zero=align)
+            assert index.num_frames == stream.num_frames(66_000, align_to_zero=align)
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        num_events=st.integers(min_value=1, max_value=300),
+        duration=st.integers(min_value=1, max_value=2_000_000),
+        frame_duration=st.integers(min_value=1_000, max_value=200_000),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_boundaries_property_equivalence(
+        self, num_events, duration, frame_duration, seed
+    ):
+        rng = np.random.default_rng(seed)
+        ts = np.sort(rng.integers(0, duration, size=num_events))
+        packet = make_packet(
+            np.zeros(num_events, dtype=int),
+            np.zeros(num_events, dtype=int),
+            ts,
+            np.ones(num_events, dtype=int),
+        )
+        legacy = list(frame_windows(packet, frame_duration))
+        stream = EventStream(packet)
+        index = stream.frame_index(frame_duration)
+        assert index.num_frames == len(legacy)
+        for i, (t_start, t_end, events) in enumerate(legacy):
+            assert index.starts[i] == t_start
+            np.testing.assert_array_equal(index.frame_events(i), events)
