@@ -1,0 +1,210 @@
+"""Serving-layer latency/throughput baseline: 1 vs N live sensors.
+
+Drives the in-process :class:`~repro.serving.hub.TrackingHub` (no TCP — the
+transport is benchmarked separately by the CI smoke job; this measures the
+serving core: online framing + incremental pipeline under sharded workers)
+with synthetic traffic-like streams delivered in stream-time batches, and
+records:
+
+* **per-frame latency** — wall time from batch enqueue to frame completion
+  (p50/p95/p99 from the telemetry registry's latency windows);
+* **sustained throughput** — events per wall-clock second over the whole
+  run, for one sensor vs N concurrent sensors.
+
+Run as a script; emits a JSON document so later PRs can diff the numbers::
+
+    PYTHONPATH=src python benchmarks/bench_serving_latency.py
+    PYTHONPATH=src python benchmarks/bench_serving_latency.py \\
+        --events 200000 --sensors 4 --output serving_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.events.stream import EventStream, frame_boundaries
+from repro.events.types import EVENT_DTYPE
+from repro.serving.hub import HubConfig, TrackingHub
+
+WIDTH, HEIGHT = 240, 180
+
+
+def make_stream(num_events: int, duration_s: float, seed: int) -> EventStream:
+    """A traffic-like synthetic stream: moving blobs plus uniform noise.
+
+    Same construction as ``bench_runtime_throughput.make_stream`` — direct
+    NumPy generation so the benchmark measures the serving layer, not the
+    scene renderer.
+    """
+    rng = np.random.default_rng(seed)
+    duration_us = int(duration_s * 1e6)
+    num_objects = 6
+    object_events = int(num_events * 0.7) // num_objects
+    packets = []
+    for _ in range(num_objects):
+        ts = np.sort(rng.integers(0, duration_us, size=object_events))
+        start_x = rng.uniform(0, WIDTH)
+        speed = rng.uniform(-60.0, 60.0)  # px/s
+        center_x = np.mod(start_x + speed * ts / 1e6, WIDTH)
+        center_y = rng.uniform(20, HEIGHT - 20)
+        x = np.clip(center_x + rng.normal(0, 4.0, size=object_events), 0, WIDTH - 1)
+        y = np.clip(center_y + rng.normal(0, 3.0, size=object_events), 0, HEIGHT - 1)
+        packet = np.empty(object_events, dtype=EVENT_DTYPE)
+        packet["x"] = x.astype(np.int16)
+        packet["y"] = y.astype(np.int16)
+        packet["t"] = ts
+        packet["p"] = np.where(rng.random(object_events) < 0.5, 1, -1)
+        packets.append(packet)
+    noise_events = num_events - num_objects * object_events
+    noise = np.empty(noise_events, dtype=EVENT_DTYPE)
+    noise["x"] = rng.integers(0, WIDTH, size=noise_events)
+    noise["y"] = rng.integers(0, HEIGHT, size=noise_events)
+    noise["t"] = rng.integers(0, duration_us, size=noise_events)
+    noise["p"] = np.where(rng.random(noise_events) < 0.5, 1, -1)
+    packets.append(noise)
+    events = np.concatenate(packets)
+    events.sort(order="t", kind="stable")
+    return EventStream(events, WIDTH, HEIGHT)
+
+
+def batch_offsets(stream: EventStream, batch_duration_us: int):
+    """Split a stream into stream-time batches (list of event arrays)."""
+    events = stream.events
+    if len(events) == 0:
+        return []
+    edges, splits = frame_boundaries(
+        events["t"], batch_duration_us, 0, int(events["t"][-1]) + 1
+    )
+    return [
+        events[splits[i] : splits[i + 1]]
+        for i in range(len(edges) - 1)
+        if splits[i + 1] > splits[i]
+    ]
+
+
+def run_scenario(
+    streams: List[EventStream], batch_duration_us: int, num_workers: int
+) -> dict:
+    """Stream all sensors through one hub; return latency + throughput."""
+    hub = TrackingHub(
+        HubConfig(num_workers=num_workers, queue_capacity=256, backpressure="block")
+    )
+    batches = {
+        f"sensor-{i:02d}": batch_offsets(stream, batch_duration_us)
+        for i, stream in enumerate(streams)
+    }
+    total_events = sum(len(s) for s in streams)
+    with hub:
+        for sensor_id in batches:
+            hub.register(sensor_id)
+        started = time.perf_counter()
+        # Interleave sensors round-robin in stream-time order, like
+        # concurrent live feeds multiplexed into the ingestion tier.
+        max_batches = max(len(b) for b in batches.values())
+        for step in range(max_batches):
+            for sensor_id, sensor_batches in batches.items():
+                if step < len(sensor_batches):
+                    hub.submit(sensor_id, sensor_batches[step])
+        results = [hub.close_sensor(sensor_id) for sensor_id in batches]
+        wall_s = time.perf_counter() - started
+        telemetry = hub.telemetry.to_dict()
+
+    latencies = [
+        telemetry["sensors"][sensor_id]["frame_latency"] for sensor_id in batches
+    ]
+    total_frames = sum(r.num_frames for r in results)
+    return {
+        "sensors": len(streams),
+        "workers": num_workers,
+        "total_events": total_events,
+        "total_frames": total_frames,
+        "wall_time_s": wall_s,
+        "events_per_s": total_events / wall_s if wall_s > 0 else 0.0,
+        "frame_latency_ms": {
+            "p50": float(np.median([l["p50_ms"] for l in latencies])),
+            "p95": float(max(l["p95_ms"] for l in latencies)),
+            "p99": float(max(l["p99_ms"] for l in latencies)),
+            "mean": float(np.mean([l["mean_ms"] for l in latencies])),
+        },
+    }
+
+
+def run_benchmark(
+    num_events: int,
+    duration_s: float,
+    num_sensors: int,
+    batch_duration_us: int,
+    num_workers: int,
+    seed: int,
+) -> dict:
+    """Single-sensor and N-sensor scenarios over the same per-sensor load."""
+    streams = [
+        make_stream(num_events, duration_s, seed + i) for i in range(num_sensors)
+    ]
+    single = run_scenario(streams[:1], batch_duration_us, num_workers=1)
+    fleet = run_scenario(streams, batch_duration_us, num_workers=num_workers)
+    return {
+        "benchmark": "serving_latency",
+        "config": {
+            "events_per_sensor": num_events,
+            "duration_s": duration_s,
+            "num_sensors": num_sensors,
+            "batch_duration_us": batch_duration_us,
+            "num_workers": num_workers,
+            "seed": seed,
+        },
+        "single": single,
+        "fleet": fleet,
+        "scaling": (
+            fleet["events_per_s"] / single["events_per_s"]
+            if single["events_per_s"]
+            else 0.0
+        ),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=250_000, help="events per sensor")
+    parser.add_argument("--duration", type=float, default=10.0, help="sensor seconds")
+    parser.add_argument("--sensors", type=int, default=8)
+    parser.add_argument("--batch-us", type=int, default=16_500)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output", default=None, help="write JSON here instead of stdout"
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(
+        args.events, args.duration, args.sensors, args.batch_us, args.workers, args.seed
+    )
+    payload = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(payload)
+    single, fleet = report["single"], report["fleet"]
+    print(
+        f"1 sensor: p50={single['frame_latency_ms']['p50']:.2f} ms "
+        f"p95={single['frame_latency_ms']['p95']:.2f} ms, "
+        f"{single['events_per_s']:.0f} ev/s; "
+        f"{fleet['sensors']} sensors: p50={fleet['frame_latency_ms']['p50']:.2f} ms "
+        f"p95={fleet['frame_latency_ms']['p95']:.2f} ms, "
+        f"{fleet['events_per_s']:.0f} ev/s "
+        f"({report['scaling']:.2f}x aggregate)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,8 +31,13 @@ from repro.core.histogram_rpn import (
     frame_histograms,
 )
 from repro.core.median_filter import binary_median_filter, binary_median_filter_stack
-from repro.core.overlap_tracker import OverlapTracker, OverlapTrackerConfig
-from repro.core.pipeline import EbbiotPipeline, FrameResult, PipelineResult
+from repro.core.overlap_tracker import OverlapTracker, OverlapTrackerConfig, TrackerState
+from repro.core.pipeline import (
+    EbbiotPipeline,
+    FrameResult,
+    PipelineResult,
+    PipelineState,
+)
 from repro.core.roe import RegionOfExclusion
 from repro.core.two_timescale import (
     TwoTimescaleConfig,
@@ -56,10 +61,12 @@ __all__ = [
     "frame_histograms",
     "OverlapTracker",
     "OverlapTrackerConfig",
+    "TrackerState",
     "RegionOfExclusion",
     "EbbiotPipeline",
     "FrameResult",
     "PipelineResult",
+    "PipelineState",
     "TwoTimescaleConfig",
     "TwoTimescalePipeline",
     "TwoTimescaleResult",

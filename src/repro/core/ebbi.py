@@ -249,6 +249,14 @@ class EbbiBuilder:
             return 0.0
         return self._total_active_fraction / self._frames_built
 
+    def stats_snapshot(self) -> Tuple[int, float]:
+        """Capture the running statistics (frame count, summed alpha)."""
+        return (self._frames_built, self._total_active_fraction)
+
+    def restore_stats(self, snapshot: Tuple[int, float]) -> None:
+        """Reinstate statistics captured by :meth:`stats_snapshot`."""
+        self._frames_built, self._total_active_fraction = snapshot
+
     def memory_bits(self) -> int:
         """Memory required by the EBBI stage: two binary frames (Eq. (1))."""
         return 2 * self.width * self.height

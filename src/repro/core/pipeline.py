@@ -18,10 +18,26 @@ import numpy as np
 from repro.core.config import EbbiotConfig
 from repro.core.ebbi import EbbiBuilder, EbbiFrames
 from repro.core.histogram_rpn import HistogramRegionProposer, RegionProposal
-from repro.core.overlap_tracker import OverlapTracker, OverlapTrackerConfig
+from repro.core.overlap_tracker import OverlapTracker, OverlapTrackerConfig, TrackerState
 from repro.core.roe import RegionOfExclusion
 from repro.events.stream import EventStream
 from repro.trackers.base import TrackHistory, TrackObservation
+
+
+@dataclass(frozen=True)
+class PipelineState:
+    """Snapshot of an :class:`EbbiotPipeline`'s incremental state.
+
+    Everything a live session needs to checkpoint and later resume (or
+    migrate to another worker): the tracker slots and the running summary
+    statistics.  Deliberately tiny — the EBBI frames themselves are
+    per-window scratch and never part of the state.
+    """
+
+    tracker: TrackerState
+    ebbi_stats: tuple
+    total_events: int
+    frames_processed: int
 
 
 @dataclass
@@ -61,14 +77,19 @@ class PipelineResult:
     frames_processed: int = 0
     proposal_count: int = 0
 
-    def add_frame(self, frame_result: FrameResult, keep: bool = True) -> None:
-        """Record one frame's output: counters, track history and, when
-        ``keep`` is true, the frame itself."""
+    def add_frame(
+        self, frame_result: FrameResult, keep: bool = True, keep_history: bool = True
+    ) -> None:
+        """Record one frame's output: counters, the frame itself when
+        ``keep`` is true, and the track observations when ``keep_history``
+        is true (indefinitely-streaming serving sessions turn it off and
+        count observations instead, keeping memory constant)."""
         self.frames_processed += 1
         self.proposal_count += len(frame_result.proposals)
         if keep:
             self.frames.append(frame_result)
-        self.track_history.extend(frame_result.tracks)
+        if keep_history:
+            self.track_history.extend(frame_result.tracks)
 
     @property
     def num_frames(self) -> int:
@@ -228,6 +249,26 @@ class EbbiotPipeline:
         self.tracker.reset()
         self._total_events = 0
         self._frames_processed = 0
+
+    def snapshot(self) -> PipelineState:
+        """Capture the incremental state between frames.
+
+        Valid only at frame boundaries (after a :meth:`process_frame_events`
+        call returns), which is the only time a live session checkpoints.
+        """
+        return PipelineState(
+            tracker=self.tracker.snapshot(),
+            ebbi_stats=self.ebbi_builder.stats_snapshot(),
+            total_events=self._total_events,
+            frames_processed=self._frames_processed,
+        )
+
+    def restore(self, state: PipelineState) -> None:
+        """Reinstate a state captured by :meth:`snapshot`."""
+        self.tracker.restore(state.tracker)
+        self.ebbi_builder.restore_stats(state.ebbi_stats)
+        self._total_events = state.total_events
+        self._frames_processed = state.frames_processed
 
     @property
     def mean_events_per_frame(self) -> float:

@@ -17,7 +17,13 @@ from repro.events.io import (
     save_recording,
 )
 from repro.events.noise import BackgroundActivityNoise, HotPixelNoise
-from repro.events.stream import EventStream, FrameIndex, frame_boundaries, frame_windows
+from repro.events.stream import (
+    EventBuffer,
+    EventStream,
+    FrameIndex,
+    frame_boundaries,
+    frame_windows,
+)
 from repro.events.types import (
     EVENT_DTYPE,
     OFF_POLARITY,
@@ -26,6 +32,7 @@ from repro.events.types import (
     concatenate_packets,
     empty_packet,
     make_packet,
+    normalize_packet,
 )
 
 __all__ = [
@@ -36,6 +43,8 @@ __all__ = [
     "make_packet",
     "empty_packet",
     "concatenate_packets",
+    "normalize_packet",
+    "EventBuffer",
     "EventStream",
     "FrameIndex",
     "frame_boundaries",

@@ -19,6 +19,8 @@ from repro.events.types import (
     concatenate_packets,
     empty_packet,
     is_time_sorted,
+    make_packet,
+    normalize_packet,
     validate_packet,
 )
 
@@ -170,14 +172,39 @@ class EventStream:
     height: int = 180
 
     def __post_init__(self) -> None:
-        if self.events.dtype != EVENT_DTYPE:
-            raise TypeError(
-                f"events must have dtype {EVENT_DTYPE}, got {self.events.dtype}"
-            )
+        self.events = normalize_packet(self.events)
         validate_packet(self.events, self.width, self.height)
         if not is_time_sorted(self.events):
             order = np.argsort(self.events["t"], kind="stable")
             self.events = self.events[order]
+
+    @classmethod
+    def from_arrays(
+        cls,
+        x,
+        y,
+        t,
+        p=None,
+        width: int = 240,
+        height: int = 180,
+    ) -> "EventStream":
+        """Build a stream from parallel coordinate/timestamp/polarity arrays.
+
+        Parameters
+        ----------
+        x, y:
+            Pixel coordinates.
+        t:
+            Timestamps in microseconds.
+        p:
+            Polarities (``+1`` / ``-1``); defaults to all-ON when omitted,
+            which is fine for the polarity-blind EBBIOT path.
+        width, height:
+            Sensor resolution.
+        """
+        if p is None:
+            p = np.ones(len(np.asarray(t)), dtype=np.int8)
+        return cls(make_packet(x, y, t, p), width, height)
 
     # -- basic properties ----------------------------------------------------------
 
@@ -306,3 +333,63 @@ class EventStream:
         return [
             self.time_slice(int(edges[i]), int(edges[i + 1])) for i in range(num_parts)
         ]
+
+
+class EventBuffer:
+    """Growable buffer for live event ingestion (the serving layer's spool).
+
+    Batches arriving from a live sensor are appended as-is (possibly
+    overlapping in time); :meth:`drain_until` later extracts the time-sorted
+    prefix below a watermark.  Appends are O(1) — packets are only
+    concatenated and sorted when a drain compacts the buffer — so per-batch
+    ingestion cost is independent of how much history is buffered.
+
+    The buffer deliberately does not validate coordinates; callers that need
+    bounds checks (the protocol layer does) validate before appending.
+    """
+
+    def __init__(self) -> None:
+        self._packets: List[np.ndarray] = []
+        self._num_pending = 0
+        self._max_seen_t: Optional[int] = None
+
+    def __len__(self) -> int:
+        return self._num_pending
+
+    @property
+    def max_seen_t(self) -> Optional[int]:
+        """Largest event timestamp ever appended (``None`` before any)."""
+        return self._max_seen_t
+
+    def append(self, events: np.ndarray) -> None:
+        """Buffer one batch of events (any order, canonical-izable dtype)."""
+        events = normalize_packet(events)
+        if len(events) == 0:
+            return
+        batch_max = int(events["t"].max())
+        if self._max_seen_t is None or batch_max > self._max_seen_t:
+            self._max_seen_t = batch_max
+        self._packets.append(events)
+        self._num_pending += len(events)
+
+    def drain_until(self, t_us: int) -> np.ndarray:
+        """Remove and return all buffered events with ``t < t_us``, sorted.
+
+        The remainder stays buffered (compacted into a single sorted packet,
+        so repeated drains do not re-sort old data).
+        """
+        if self._num_pending == 0:
+            return empty_packet()
+        merged = concatenate_packets(self._packets)
+        cut = int(np.searchsorted(merged["t"], t_us, side="left"))
+        drained = merged[:cut].copy()
+        remainder = merged[cut:].copy()
+        self._packets = [remainder] if len(remainder) else []
+        self._num_pending = len(remainder)
+        return drained
+
+    def drain_all(self) -> np.ndarray:
+        """Remove and return everything buffered, time-sorted."""
+        if self._max_seen_t is None:
+            return empty_packet()
+        return self.drain_until(self._max_seen_t + 1)

@@ -87,6 +87,42 @@ def empty_packet() -> np.ndarray:
     return np.empty(0, dtype=EVENT_DTYPE)
 
 
+def normalize_packet(packet: np.ndarray) -> np.ndarray:
+    """Coerce a structured array to the canonical :data:`EVENT_DTYPE`.
+
+    Arrays already in the canonical dtype are returned unchanged.  Arrays
+    with the same four fields in a different order (or with compatible but
+    wider field types, e.g. ``int64`` coordinates from a file reader) are
+    copied field by field into a fresh canonical packet, so callers never
+    have to care about field order.
+
+    Raises
+    ------
+    TypeError
+        If the array is not structured or its field names are not exactly
+        ``{x, y, t, p}``.
+    ValueError
+        If a field's values do not survive the cast to the canonical field
+        type (e.g. an ``x`` of 65546 would silently wrap to 10 in int16 and
+        then pass the coordinate bounds check as a corrupt-but-valid event).
+    """
+    if packet.dtype == EVENT_DTYPE:
+        return packet
+    names = packet.dtype.names
+    if names is None or set(names) != set(EVENT_DTYPE.names):
+        raise TypeError(
+            f"events must have fields {EVENT_DTYPE.names}, got dtype {packet.dtype}"
+        )
+    normalized = np.empty(len(packet), dtype=EVENT_DTYPE)
+    for name in EVENT_DTYPE.names:
+        normalized[name] = packet[name]
+        if not np.array_equal(normalized[name], packet[name]):
+            raise ValueError(
+                f"event field {name!r} values do not fit {EVENT_DTYPE[name]}"
+            )
+    return normalized
+
+
 def concatenate_packets(packets: Sequence[np.ndarray]) -> np.ndarray:
     """Concatenate packets and sort the result by timestamp (stable)."""
     packets = [p for p in packets if len(p)]
@@ -142,10 +178,7 @@ class EventPacket:
     height: int
 
     def __post_init__(self) -> None:
-        if self.events.dtype != EVENT_DTYPE:
-            raise TypeError(
-                f"events must have dtype {EVENT_DTYPE}, got {self.events.dtype}"
-            )
+        object.__setattr__(self, "events", normalize_packet(self.events))
         validate_packet(self.events, self.width, self.height)
 
     def __len__(self) -> int:

@@ -24,6 +24,11 @@ from repro.runtime.runner import (
     run_recording,
 )
 from repro.runtime.scenes import (
+    CROSSING_SPEC,
+    DEFAULT_SITE_SPECS,
+    RAIN_LIKE_SPEC,
+    build_crossing_recording,
+    build_rain_recording,
     build_scene_jobs,
     build_scene_recordings,
     jobs_from_recordings,
@@ -41,4 +46,9 @@ __all__ = [
     "build_scene_jobs",
     "build_scene_recordings",
     "jobs_from_recordings",
+    "build_crossing_recording",
+    "build_rain_recording",
+    "CROSSING_SPEC",
+    "RAIN_LIKE_SPEC",
+    "DEFAULT_SITE_SPECS",
 ]

@@ -68,6 +68,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--json",
+        "--output",
+        dest="json",
         metavar="PATH",
         default=None,
         help="also write the full result as JSON ('-' for stdout)",

@@ -1,11 +1,13 @@
 """Synthetic fleet construction for the runtime layer.
 
-A "fleet" here is N stationary sensors watching N independent traffic
-scenes.  :func:`build_scene_jobs` renders them with the Table I site
-specifications (alternating the busy ENG-like and quiet LT4-like sites) and
-wraps each recording as a :class:`~repro.runtime.runner.RecordingJob`
-complete with ground truth and a site-specific region of exclusion, ready
-for :class:`~repro.runtime.runner.StreamRunner`.
+A "fleet" here is N stationary sensors watching N independent scenes.
+:func:`build_scene_jobs` renders them by cycling through a mix of site
+types — the busy ENG-like and quiet LT4-like Table I sites, a high-noise
+"rain" site, and a scripted crossing-objects occlusion site — and wraps
+each recording as a :class:`~repro.runtime.runner.RecordingJob` complete
+with ground truth and a site-specific region of exclusion, ready for
+:class:`~repro.runtime.runner.StreamRunner` (or, streamed batch by batch,
+for the live serving layer).
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from repro.core.config import EbbiotConfig
+from repro.datasets.annotations import RecordingAnnotations
 from repro.datasets.synthetic import (
     DatasetSpec,
     ENG_LIKE_SPEC,
@@ -21,11 +24,172 @@ from repro.datasets.synthetic import (
     SyntheticRecording,
     build_recording,
 )
+from repro.events.noise import BackgroundActivityNoise, HotPixelNoise
 from repro.runtime.runner import RecordingJob
+from repro.sensor.davis import SensorGeometry
+from repro.simulation.objects import OBJECT_TEMPLATES, ObjectClass, SceneObject
+from repro.simulation.scene import Scene, SceneConfig
+from repro.simulation.traffic import TrafficScenarioConfig, build_traffic_scene
+from repro.simulation.trajectories import crossing_trajectory
 
 #: Offset between per-scene seeds; any constant works, it only has to keep
 #: the scenes' traffic draws distinct.
 _SEED_STRIDE = 101
+
+#: EBBI frame duration used for annotation sampling, matching the pipeline.
+_FRAME_DURATION_US = 66_000
+
+#: RAIN: an LT4-like quiet site in heavy rain — background activity several
+#: times the Table I sites' plus a population of hot pixels.  Stresses the
+#: median filter and the RPN's noise rejection.
+RAIN_LIKE_SPEC = replace(
+    LT4_LIKE_SPEC,
+    name="RAIN",
+    noise_rate_hz_per_pixel=3.0,
+    seed=77,
+)
+
+#: CROSS: two scripted vehicles crossing mid-scene in adjacent lanes — a
+#: deterministic dynamic-occlusion stressor for the overlap tracker's
+#: lookahead.  Built by :func:`build_crossing_recording`, not the Poisson
+#: traffic generator, so the occlusion happens in every rendering.
+CROSSING_SPEC = DatasetSpec(
+    name="CROSS",
+    lens_focal_length_mm=12.0,
+    paper_duration_s=0.0,
+    paper_num_events=0.0,
+    simulated_duration_s=6.0,
+    arrival_rate_per_s=0.0,
+    noise_rate_hz_per_pixel=0.3,
+    include_foliage=False,
+    seed=33,
+)
+
+
+def build_rain_recording(
+    duration_s: float = 6.0,
+    seed: int = 0,
+    name: str = "RAIN",
+    spec: Optional[DatasetSpec] = None,
+) -> SyntheticRecording:
+    """Render the high-noise "rain" site.
+
+    Regular Poisson traffic under heavy background activity
+    (:class:`~repro.events.noise.BackgroundActivityNoise` at several Hz per
+    pixel) plus rain-drop-on-lens hot pixels
+    (:class:`~repro.events.noise.HotPixelNoise`).  Pass ``spec`` to override
+    the base :data:`RAIN_LIKE_SPEC` fields (noise rate, arrival rate, lens).
+    """
+    spec = replace(
+        spec or RAIN_LIKE_SPEC, name=name, simulated_duration_s=duration_s, seed=seed
+    )
+    geometry = SensorGeometry(
+        width=240, height=180, lens_focal_length_mm=spec.lens_focal_length_mm
+    )
+    config = TrafficScenarioConfig(
+        duration_s=duration_s,
+        geometry=geometry,
+        arrival_rate_per_s=spec.arrival_rate_per_s,
+        noise_rate_hz_per_pixel=spec.noise_rate_hz_per_pixel,
+        seed=seed,
+    )
+    scene = build_traffic_scene(config)
+    scene.config.hot_pixels = HotPixelNoise(num_hot_pixels=30, rate_hz=150.0, seed=seed)
+    result = scene.render(
+        duration_us=int(duration_s * 1e6),
+        ground_truth_interval_us=_FRAME_DURATION_US,
+    )
+    annotations = RecordingAnnotations(
+        frames=result.ground_truth, annotation_interval_us=_FRAME_DURATION_US
+    )
+    return SyntheticRecording(spec=spec, result=result, annotations=annotations)
+
+
+def build_crossing_recording(
+    duration_s: float = 6.0,
+    seed: int = 0,
+    name: str = "CROSS",
+    spec: Optional[DatasetSpec] = None,
+) -> SyntheticRecording:
+    """Render the scripted crossing-objects occlusion scene.
+
+    A car enters from the left and a van from the right in adjacent lanes;
+    speeds are chosen so they cross near mid-recording, producing a
+    guaranteed dynamic occlusion (the Sec. II-C case the tracker resolves
+    with its ``n = 2`` frame lookahead).  Pass ``spec`` to override the base
+    :data:`CROSSING_SPEC` fields.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    spec = replace(
+        spec or CROSSING_SPEC, name=name, simulated_duration_s=duration_s, seed=seed
+    )
+    geometry = SensorGeometry(
+        width=240, height=180, lens_focal_length_mm=spec.lens_focal_length_mm
+    )
+    scene = Scene(
+        SceneConfig(
+            geometry=geometry,
+            noise=BackgroundActivityNoise(
+                rate_hz_per_pixel=spec.noise_rate_hz_per_pixel
+            ),
+            seed=seed + 1,
+        )
+    )
+    car = OBJECT_TEMPLATES[ObjectClass.CAR]
+    van = OBJECT_TEMPLATES[ObjectClass.VAN]
+    lane_y = 80.0
+    # Speeds such that the silhouettes meet at ~45% of the recording.
+    t_meet_s = max(0.45 * duration_s, 0.2)
+    closing_speed = (geometry.width + car.width_px) / t_meet_s
+    speed_car = 0.55 * closing_speed
+    speed_van = closing_speed - speed_car
+    scene.add_object(
+        SceneObject(
+            object_id=scene.allocate_object_id(),
+            template=car,
+            trajectory=crossing_trajectory(
+                width=geometry.width,
+                y=lane_y,
+                speed_px_per_s=speed_car,
+                t_enter_us=0,
+                object_width=car.width_px,
+                direction=1,
+            ),
+        )
+    )
+    scene.add_object(
+        SceneObject(
+            object_id=scene.allocate_object_id(),
+            template=van,
+            trajectory=crossing_trajectory(
+                width=geometry.width,
+                y=lane_y + 4.0,
+                speed_px_per_s=speed_van,
+                t_enter_us=0,
+                object_width=van.width_px,
+                direction=-1,
+            ),
+        )
+    )
+    result = scene.render(
+        duration_us=int(duration_s * 1e6),
+        ground_truth_interval_us=_FRAME_DURATION_US,
+    )
+    annotations = RecordingAnnotations(
+        frames=result.ground_truth, annotation_interval_us=_FRAME_DURATION_US
+    )
+    return SyntheticRecording(spec=spec, result=result, annotations=annotations)
+
+
+#: Builders for specs that are not plain Table I traffic renders.
+_SPECIAL_BUILDERS = {
+    RAIN_LIKE_SPEC.name: build_rain_recording,
+    CROSSING_SPEC.name: build_crossing_recording,
+}
+
+#: Default site mix cycled by :func:`build_scene_recordings`.
+DEFAULT_SITE_SPECS = (ENG_LIKE_SPEC, LT4_LIKE_SPEC, RAIN_LIKE_SPEC, CROSSING_SPEC)
 
 
 def build_scene_recordings(
@@ -46,23 +210,27 @@ def build_scene_recordings(
         Shifts every scene's seed, so two fleets with different base seeds
         share no traffic draws.
     site_specs:
-        Site specifications to cycle through; defaults to the ENG-like and
-        LT4-like Table I sites.
+        Site specifications to cycle through; defaults to
+        :data:`DEFAULT_SITE_SPECS` (ENG-like, LT4-like, rain, crossing).
     """
     if num_scenes <= 0:
         raise ValueError(f"num_scenes must be positive, got {num_scenes}")
     if duration_s <= 0:
         raise ValueError(f"duration_s must be positive, got {duration_s}")
-    specs = list(site_specs) if site_specs else [ENG_LIKE_SPEC, LT4_LIKE_SPEC]
+    specs = list(site_specs) if site_specs else list(DEFAULT_SITE_SPECS)
     recordings = []
     for scene_index in range(num_scenes):
         spec = specs[scene_index % len(specs)]
-        spec = replace(
-            spec,
-            name=f"{spec.name}-{scene_index:02d}",
-            seed=spec.seed + base_seed + _SEED_STRIDE * scene_index,
-        )
-        recordings.append(build_recording(spec, duration_override_s=duration_s))
+        name = f"{spec.name}-{scene_index:02d}"
+        seed = spec.seed + base_seed + _SEED_STRIDE * scene_index
+        builder = _SPECIAL_BUILDERS.get(spec.name)
+        if builder is not None:
+            recordings.append(
+                builder(duration_s=duration_s, seed=seed, name=name, spec=spec)
+            )
+        else:
+            spec = replace(spec, name=name, seed=seed)
+            recordings.append(build_recording(spec, duration_override_s=duration_s))
     return recordings
 
 

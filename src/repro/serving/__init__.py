@@ -1,0 +1,54 @@
+"""Live multi-sensor serving layer.
+
+Where :mod:`repro.runtime` replays *complete* recordings, this package is
+the deployment mode the paper assumes: stationary sensors streaming events
+into IoVT infrastructure, tracked online.
+
+* :mod:`repro.serving.framer` — :class:`OnlineFramer` closes 66 ms EBBI
+  windows from a live batch feed, tolerating bounded out-of-order arrival.
+* :mod:`repro.serving.session` — :class:`SensorSession` wraps one
+  incremental :class:`~repro.core.pipeline.EbbiotPipeline` per sensor with
+  running statistics and snapshot/restore.
+* :mod:`repro.serving.hub` — :class:`TrackingHub` shards sessions across
+  worker threads with bounded queues and explicit backpressure.
+* :mod:`repro.serving.telemetry` — per-sensor event rates, frame latency
+  percentiles, queue depth and drop counts, exportable as JSON.
+* :mod:`repro.serving.protocol` / ``server`` / ``client`` — a JSONL
+  line-protocol TCP transport.
+* ``python -m repro.serving`` — live demo (in-process server + N synthetic
+  sensors) and a standalone server mode, mirroring ``python -m
+  repro.runtime`` for batch.
+"""
+
+from repro.serving.client import SensorClient, stream_recording
+from repro.serving.framer import ClosedWindow, OnlineFramer
+from repro.serving.hub import BACKPRESSURE_POLICIES, HubConfig, TrackingHub
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+)
+from repro.serving.server import TrackingServer
+from repro.serving.session import SensorSession, SessionSnapshot
+from repro.serving.telemetry import LatencyWindow, SensorTelemetry, TelemetryRegistry
+
+__all__ = [
+    "OnlineFramer",
+    "ClosedWindow",
+    "SensorSession",
+    "SessionSnapshot",
+    "TrackingHub",
+    "HubConfig",
+    "BACKPRESSURE_POLICIES",
+    "TelemetryRegistry",
+    "SensorTelemetry",
+    "LatencyWindow",
+    "TrackingServer",
+    "SensorClient",
+    "stream_recording",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "encode_message",
+    "decode_message",
+]

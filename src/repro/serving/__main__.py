@@ -1,0 +1,217 @@
+"""Command-line entry point: ``python -m repro.serving``.
+
+Two modes:
+
+* **demo** (default) — start an in-process tracking server, render N
+  synthetic sensors, stream them concurrently over real TCP connections,
+  and print the per-sensor table plus fleet statistics (the live mirror of
+  ``python -m repro.runtime``).
+* **--serve** — run a standalone server until interrupted; remote sensor
+  clients connect with :class:`repro.serving.client.SensorClient`.
+
+Examples
+--------
+Live demo, eight synthetic sensors of two seconds each::
+
+    PYTHONPATH=src python -m repro.serving --sensors 8 --duration 2
+
+Standalone server on a fixed port::
+
+    PYTHONPATH=src python -m repro.serving --serve --port 7700
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
+
+from repro.runtime.scenes import build_scene_recordings
+from repro.serving.client import stream_recording
+from repro.serving.hub import BACKPRESSURE_POLICIES, HubConfig
+from repro.serving.server import TrackingServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (separate so tests can introspect it)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description=(
+            "Serve the EBBIOT pipeline to live sensors over TCP "
+            "(JSONL line protocol), or run a synthetic multi-sensor demo."
+        ),
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run a standalone server until interrupted (no demo sensors)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks an ephemeral port)"
+    )
+    parser.add_argument(
+        "--sensors", type=int, default=8, help="demo: number of synthetic sensors"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=2.0,
+        help="demo: length of each synthetic recording in seconds",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="demo: base seed for the synthetic scenes"
+    )
+    parser.add_argument(
+        "--batch-us",
+        type=int,
+        default=16_500,
+        help="demo: stream-time span of each client batch in microseconds",
+    )
+    parser.add_argument(
+        "--realtime",
+        action="store_true",
+        help="demo: throttle clients to sensor real time",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="hub worker shards"
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=64, help="batches buffered per shard"
+    )
+    parser.add_argument(
+        "--backpressure",
+        choices=BACKPRESSURE_POLICIES,
+        default="block",
+        help="what to do when a shard queue fills",
+    )
+    parser.add_argument(
+        "--slack-us",
+        type=int,
+        default=5_000,
+        help="out-of-order arrival tolerance in microseconds",
+    )
+    parser.add_argument(
+        "--json",
+        "--output",
+        dest="json",
+        metavar="PATH",
+        default=None,
+        help="demo: also write fleet results as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--telemetry-json",
+        metavar="PATH",
+        default=None,
+        help="demo: write the telemetry registry snapshot as JSON",
+    )
+    return parser
+
+
+def _hub_config(args: argparse.Namespace) -> HubConfig:
+    return HubConfig(
+        num_workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        backpressure=args.backpressure,
+        reorder_slack_us=args.slack_us,
+    )
+
+
+def run_demo(args: argparse.Namespace) -> int:
+    """In-process server + N concurrent synthetic sensor clients."""
+    print(
+        f"rendering {args.sensors} synthetic sensor(s) of {args.duration:.1f} s each ...",
+        flush=True,
+    )
+    recordings = build_scene_recordings(
+        args.sensors, duration_s=args.duration, base_seed=args.seed
+    )
+    with TrackingServer(args.host, args.port, _hub_config(args)) as server:
+        host, port = server.address
+        print(f"tracking server listening on {host}:{port}")
+        with ThreadPoolExecutor(max_workers=args.sensors) as pool:
+            futures = [
+                pool.submit(
+                    stream_recording,
+                    host,
+                    port,
+                    recording.name,
+                    recording.stream,
+                    batch_duration_us=args.batch_us,
+                    realtime=args.realtime,
+                )
+                for recording in recordings
+            ]
+            outcomes = [future.result() for future in futures]
+        telemetry = server.hub.telemetry.to_dict()
+        batch = server.hub.batch_result()
+
+    total_frames = sum(len(frames) for frames, _ in outcomes)
+    print()
+    print(batch.format_table())
+    totals = telemetry["totals"]
+    print(
+        f"telemetry: {totals['events_received']} events in, "
+        f"{totals['frames_emitted']} frames out, "
+        f"{totals['track_observations']} track observations, "
+        f"{totals['late_events']} late, {totals['dropped_batches']} batches dropped"
+    )
+
+    if args.json is not None:
+        payload = json.dumps(batch.to_dict(), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote JSON result to {args.json}")
+    if args.telemetry_json is not None:
+        with open(args.telemetry_json, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(telemetry, indent=2) + "\n")
+        print(f"wrote telemetry to {args.telemetry_json}")
+
+    if total_frames == 0:
+        print("error: no frames were received from the server", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_server(args: argparse.Namespace) -> int:
+    """Standalone server mode (blocks until KeyboardInterrupt)."""
+    server = TrackingServer(args.host, args.port, _hub_config(args))
+    host, port = server.address
+    print(f"tracking server listening on {host}:{port} (Ctrl-C to stop)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down ...")
+        server.stop()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and run the selected mode.  Returns the exit code."""
+    args = build_parser().parse_args(argv)
+    if args.sensors <= 0:
+        print("error: --sensors must be positive", file=sys.stderr)
+        return 2
+    if args.duration <= 0:
+        print("error: --duration must be positive", file=sys.stderr)
+        return 2
+    if args.batch_us <= 0:
+        print("error: --batch-us must be positive", file=sys.stderr)
+        return 2
+    try:
+        _hub_config(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.serve:
+        return run_server(args)
+    return run_demo(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,188 @@
+"""Sensor-side client for the JSONL tracking server.
+
+:class:`SensorClient` is a thin synchronous wrapper around one TCP
+connection: it performs the ``hello``/``welcome`` handshake, sends event
+batches, and collects the asynchronously arriving ``frame`` messages on a
+background reader thread (so a fast sender can never deadlock against a
+server blocked on a full socket buffer).
+
+:func:`stream_recording` is the convenience used by the demo, tests and CI
+smoke job: replay one :class:`~repro.events.stream.EventStream` as
+timestamped batches — optionally throttled to sensor real time — and return
+the frames and the server's summary.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.events.stream import EventStream, frame_boundaries
+from repro.serving.protocol import (
+    ProtocolError,
+    decode_message,
+    encode_message,
+    events_message,
+    hello_message,
+)
+
+
+class SensorClient:
+    """One sensor's connection to a :class:`~repro.serving.server.TrackingServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    sensor_id:
+        Identifier announced in the handshake; must be unique per server.
+    width, height:
+        Sensor resolution announced in the handshake.
+    timeout_s:
+        Socket and reply-wait timeout.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        sensor_id: str,
+        width: int = 240,
+        height: int = 180,
+        timeout_s: float = 30.0,
+    ) -> None:
+        self.sensor_id = sensor_id
+        self.timeout_s = timeout_s
+        self._socket = socket.create_connection((host, port), timeout=timeout_s)
+        self._rfile = self._socket.makefile("rb")
+        self._wfile = self._socket.makefile("wb")
+        self.frames: List[dict] = []
+        self._replies: "queue.Queue[dict]" = queue.Queue()
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"sensor-client-{sensor_id}", daemon=True
+        )
+        self._send(hello_message(sensor_id, width, height))
+        self._reader.start()
+        self.welcome = self._await_reply("welcome")
+
+    # -- wire helpers --------------------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        self._wfile.write(encode_message(message))
+        self._wfile.flush()
+
+    def _read_loop(self) -> None:
+        try:
+            for line in self._rfile:
+                message = decode_message(line)
+                if message["type"] == "frame":
+                    self.frames.append(message)
+                else:
+                    self._replies.put(message)
+        except (OSError, ValueError):
+            pass
+        # Wake any reply waiter when the connection dies.
+        self._replies.put({"type": "closed"})
+
+    def _await_reply(self, expected: str) -> dict:
+        while True:
+            try:
+                message = self._replies.get(timeout=self.timeout_s)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"no {expected!r} reply within {self.timeout_s:.0f}s"
+                ) from None
+            if message["type"] == expected:
+                return message
+            if message["type"] == "error":
+                raise ProtocolError(message.get("message", "server error"))
+            if message["type"] == "closed":
+                raise ConnectionError("server closed the connection")
+            # Unrelated reply (e.g. stats answered out of order): requeue is
+            # unnecessary — replies are strictly request-ordered per client.
+
+    # -- protocol operations -------------------------------------------------------------
+
+    def send_events(self, events: np.ndarray) -> None:
+        """Send one batch of events (any order within the reorder slack)."""
+        self._send(events_message(events))
+
+    def request_stats(self) -> dict:
+        """Fetch the server's telemetry snapshot."""
+        self._send({"type": "stats"})
+        return self._await_reply("stats")["telemetry"]
+
+    def finish(self) -> dict:
+        """Declare end of stream; returns the server's recording summary."""
+        self._send({"type": "finish"})
+        return self._await_reply("summary")["recording"]
+
+    def close(self) -> None:
+        """Close the connection (reader thread exits on EOF)."""
+        try:
+            self._socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._socket.close()
+
+    def __enter__(self) -> "SensorClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def stream_recording(
+    host: str,
+    port: int,
+    sensor_id: str,
+    stream: EventStream,
+    batch_duration_us: int = 16_500,
+    realtime: bool = False,
+) -> Tuple[List[dict], dict]:
+    """Replay one recording to the server as timestamped batches.
+
+    Parameters
+    ----------
+    host, port, sensor_id:
+        Connection parameters (see :class:`SensorClient`).
+    stream:
+        The recording to replay.
+    batch_duration_us:
+        Stream-time span of each batch; the default sends four batches per
+        66 ms EBBI window, matching a sensor driver that drains its FIFO a
+        few times per frame.
+    realtime:
+        When ``True`` sleeps between batches so the replay advances at
+        sensor speed (demos); ``False`` sends as fast as possible (tests,
+        benchmarks).
+
+    Returns
+    -------
+    (frames, summary)
+        The ``frame`` messages received and the final recording summary.
+    """
+    if batch_duration_us <= 0:
+        raise ValueError(f"batch_duration_us must be positive, got {batch_duration_us}")
+    with SensorClient(
+        host, port, sensor_id, width=stream.width, height=stream.height
+    ) as client:
+        events = stream.events
+        if len(events):
+            edges, splits = frame_boundaries(
+                events["t"], batch_duration_us, 0, int(events["t"][-1]) + 1
+            )
+            for i in range(len(edges) - 1):
+                batch = events[splits[i] : splits[i + 1]]
+                if len(batch) == 0:
+                    continue
+                client.send_events(batch)
+                if realtime:
+                    time.sleep(batch_duration_us * 1e-6)
+        summary = client.finish()
+        return list(client.frames), summary

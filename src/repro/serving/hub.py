@@ -1,0 +1,343 @@
+"""The :class:`TrackingHub`: many live sensors, few worker threads.
+
+The hub is the serving layer's scheduler.  Each registered sensor is
+assigned — by a stable hash of its id — to exactly one worker shard; each
+shard is one worker thread draining one bounded queue.  That gives:
+
+* **per-sensor ordering** for free (a sensor's batches all pass through one
+  queue and one thread, so frames close in order);
+* **recording-level parallelism** across shards, the same property the
+  batch :class:`~repro.runtime.runner.StreamRunner` exploits (NumPy kernels
+  release the GIL);
+* **bounded memory** via the queue capacity, with an explicit backpressure
+  policy when a queue fills: ``"block"`` (lossless, slows producers — the
+  default for replay/backfill) or ``"drop"`` (sheds the newest batch and
+  counts it in telemetry — what a live deployment does when a sensor storms).
+
+Results leave the hub through per-sensor ``on_frames`` callbacks invoked on
+the worker thread (the TCP server pushes them straight onto the client
+socket), and through :meth:`close_sensor`, which flushes the session in
+queue order and returns its :class:`~repro.runtime.aggregate.RecordingResult`
+summary.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import EbbiotConfig
+from repro.core.pipeline import FrameResult
+from repro.runtime.aggregate import BatchResult, RecordingResult
+from repro.serving.session import SensorSession
+from repro.serving.telemetry import TelemetryRegistry
+
+#: Backpressure policies understood by :class:`HubConfig`.
+BACKPRESSURE_POLICIES = ("block", "drop")
+
+FramesCallback = Callable[[str, List[FrameResult]], None]
+
+
+@dataclass
+class HubConfig:
+    """Configuration of a :class:`TrackingHub`.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker shards.  Sensors are hashed across shards, so more workers
+        than distinct sensors buys nothing.
+    queue_capacity:
+        Maximum in-flight batches per shard before backpressure applies.
+    backpressure:
+        ``"block"`` (default) or ``"drop"`` — see the module docstring.
+    pipeline_config:
+        Shared pipeline configuration for sensors that do not bring their
+        own (per-sensor configs carry e.g. a site's region of exclusion).
+    reorder_slack_us:
+        Out-of-order arrival tolerance for every sensor's online framer.
+    collect_frames:
+        Keep per-frame results inside each session (tests/demos only).
+    """
+
+    num_workers: int = 4
+    queue_capacity: int = 64
+    backpressure: str = "block"
+    pipeline_config: EbbiotConfig = field(default_factory=EbbiotConfig)
+    reorder_slack_us: int = 5_000
+    collect_frames: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {self.num_workers}")
+        if self.queue_capacity <= 0:
+            raise ValueError(
+                f"queue_capacity must be positive, got {self.queue_capacity}"
+            )
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+        if self.reorder_slack_us < 0:
+            raise ValueError(
+                f"reorder_slack_us must be non-negative, got {self.reorder_slack_us}"
+            )
+
+
+@dataclass
+class _Ingest:
+    sensor_id: str
+    events: np.ndarray
+    enqueued_at: float
+
+
+@dataclass
+class _Close:
+    sensor_id: str
+    done: threading.Event
+    result: Optional[RecordingResult] = None
+    error: Optional[BaseException] = None
+
+
+class _Stop:
+    pass
+
+
+class TrackingHub:
+    """Shards live :class:`SensorSession` objects across worker threads."""
+
+    def __init__(self, config: Optional[HubConfig] = None) -> None:
+        self.config = config or HubConfig()
+        self.telemetry = TelemetryRegistry()
+        self._sessions: Dict[str, SensorSession] = {}
+        self._callbacks: Dict[str, Optional[FramesCallback]] = {}
+        self._sessions_lock = threading.Lock()
+        self._queues: List[queue.Queue] = [
+            queue.Queue(maxsize=self.config.queue_capacity)
+            for _ in range(self.config.num_workers)
+        ]
+        self._workers: List[threading.Thread] = []
+        self._started = False
+        self._closed_results: List[RecordingResult] = []
+        self._started_at = 0.0
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def start(self) -> "TrackingHub":
+        """Start the worker threads (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        self._started_at = time.perf_counter()
+        for shard in range(self.config.num_workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                args=(shard,),
+                name=f"tracking-hub-{shard}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    def stop(self) -> None:
+        """Stop all workers after their queues drain (idempotent)."""
+        if not self._started:
+            return
+        for q in self._queues:
+            q.put(_Stop())
+        for worker in self._workers:
+            worker.join()
+        self._workers.clear()
+        self._started = False
+
+    def __enter__(self) -> "TrackingHub":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- sensor management ---------------------------------------------------------------
+
+    def register(
+        self,
+        sensor_id: str,
+        config: Optional[EbbiotConfig] = None,
+        on_frames: Optional[FramesCallback] = None,
+    ) -> SensorSession:
+        """Create the session for a new sensor (error if it already exists)."""
+        session = SensorSession(
+            sensor_id,
+            config=config or self.config.pipeline_config,
+            reorder_slack_us=self.config.reorder_slack_us,
+            collect_frames=self.config.collect_frames,
+            # Hub sessions may stream indefinitely; full per-observation
+            # history is only retained in the frame-collecting debug mode.
+            keep_history=self.config.collect_frames,
+        )
+        with self._sessions_lock:
+            if sensor_id in self._sessions:
+                raise ValueError(f"sensor {sensor_id!r} is already registered")
+            self._sessions[sensor_id] = session
+            self._callbacks[sensor_id] = on_frames
+        self.telemetry.sensor(sensor_id)
+        return session
+
+    def remove_sensor(self, sensor_id: str) -> None:
+        """Forget a sensor so its id can be reused (e.g. on reconnect).
+
+        Call after :meth:`close_sensor`; the session and its callback are
+        released, while telemetry and the closed summary are retained.
+        A long-running server calls this on connection teardown so
+        short-lived sensors do not accumulate forever.
+        """
+        with self._sessions_lock:
+            self._sessions.pop(sensor_id, None)
+            self._callbacks.pop(sensor_id, None)
+
+    def shard_of(self, sensor_id: str) -> int:
+        """The worker shard a sensor id maps to (stable across runs)."""
+        return zlib.crc32(sensor_id.encode("utf-8")) % self.config.num_workers
+
+    @property
+    def num_sensors(self) -> int:
+        """Number of registered (possibly finished) sensors."""
+        with self._sessions_lock:
+            return len(self._sessions)
+
+    # -- ingestion -----------------------------------------------------------------------
+
+    def submit(self, sensor_id: str, events: np.ndarray) -> bool:
+        """Enqueue one event batch for a sensor.
+
+        Returns ``True`` if the batch was accepted, ``False`` if it was shed
+        by the ``"drop"`` backpressure policy (counted in telemetry).
+        """
+        if not self._started:
+            raise RuntimeError("hub is not started")
+        with self._sessions_lock:
+            if sensor_id not in self._sessions:
+                raise KeyError(f"sensor {sensor_id!r} is not registered")
+        shard_queue = self._queues[self.shard_of(sensor_id)]
+        item = _Ingest(sensor_id, events, time.perf_counter())
+        record = self.telemetry.sensor(sensor_id)
+        if self.config.backpressure == "block":
+            shard_queue.put(item)
+        else:
+            try:
+                shard_queue.put_nowait(item)
+            except queue.Full:
+                record.record_drop(len(events))
+                return False
+        record.record_batch(len(events))
+        record.set_queue_depth(shard_queue.qsize())
+        return True
+
+    def close_sensor(self, sensor_id: str, timeout: Optional[float] = None) -> RecordingResult:
+        """Flush a sensor's session (in queue order) and summarise it.
+
+        Blocks until every batch submitted before this call has been
+        processed, the framer has flushed its tail windows, and the final
+        frames have been delivered to the sensor's callback.
+        """
+        if not self._started:
+            raise RuntimeError("hub is not started")
+        with self._sessions_lock:
+            if sensor_id not in self._sessions:
+                raise KeyError(f"sensor {sensor_id!r} is not registered")
+        item = _Close(sensor_id, threading.Event())
+        self._queues[self.shard_of(sensor_id)].put(item)
+        if not item.done.wait(timeout):
+            raise TimeoutError(f"timed out closing sensor {sensor_id!r}")
+        if item.error is not None:
+            raise item.error
+        assert item.result is not None
+        return item.result
+
+    def batch_result(self) -> BatchResult:
+        """Fleet summary over all sensors closed so far.
+
+        Recordings are sorted by sensor id so the fleet table is
+        deterministic regardless of which sensor finished first.
+        """
+        wall = time.perf_counter() - self._started_at if self._started_at else 0.0
+        with self._sessions_lock:
+            results = sorted(self._closed_results, key=lambda r: r.name)
+        return BatchResult(recordings=results, wall_time_s=wall)
+
+    # -- worker loop ---------------------------------------------------------------------
+
+    def _worker_loop(self, shard: int) -> None:
+        shard_queue = self._queues[shard]
+        while True:
+            item = shard_queue.get()
+            try:
+                if isinstance(item, _Stop):
+                    return
+                if isinstance(item, _Close):
+                    try:
+                        self._handle_close(item)
+                    except Exception as error:
+                        # Never leave a close_sensor() caller hanging.
+                        item.error = error
+                        item.done.set()
+                else:
+                    try:
+                        self._handle_ingest(item, shard_queue)
+                    except Exception:
+                        # A poisoned batch (bad coordinates, finished
+                        # session) must not take down the shard's other
+                        # sensors; the batch is counted as dropped.
+                        self.telemetry.sensor(item.sensor_id).record_drop(
+                            len(item.events)
+                        )
+            finally:
+                shard_queue.task_done()
+
+    def _handle_ingest(self, item: _Ingest, shard_queue: queue.Queue) -> None:
+        with self._sessions_lock:
+            session = self._sessions[item.sensor_id]
+            callback = self._callbacks[item.sensor_id]
+        frames = session.ingest(item.events)
+        record = self.telemetry.sensor(item.sensor_id)
+        record.record_frames(
+            num_frames=len(frames),
+            num_tracks=sum(len(f.tracks) for f in frames),
+            latency_s=time.perf_counter() - item.enqueued_at,
+            late_events=session.late_events,
+        )
+        record.set_queue_depth(shard_queue.qsize())
+        if frames and callback is not None:
+            callback(item.sensor_id, frames)
+
+    def _handle_close(self, item: _Close) -> None:
+        with self._sessions_lock:
+            session = self._sessions[item.sensor_id]
+            callback = self._callbacks[item.sensor_id]
+        already_finished = session.finished
+        started = time.perf_counter()
+        frames = session.finish()
+        record = self.telemetry.sensor(item.sensor_id)
+        record.record_frames(
+            num_frames=len(frames),
+            num_tracks=sum(len(f.tracks) for f in frames),
+            latency_s=time.perf_counter() - started,
+            late_events=session.late_events,
+        )
+        if frames and callback is not None:
+            callback(item.sensor_id, frames)
+        item.result = session.summary()
+        if not already_finished:
+            # A repeated finish (double close, connection-teardown close
+            # after an explicit one) must not double-count the sensor in
+            # the fleet statistics.
+            with self._sessions_lock:
+                self._closed_results.append(item.result)
+        item.done.set()

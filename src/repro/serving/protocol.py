@@ -1,0 +1,151 @@
+"""JSONL line protocol spoken between sensor clients and the tracking server.
+
+One message per line, each a JSON object with a ``"type"`` field.  JSONL is
+deliberately simple — debuggable with ``nc`` and greppable in logs — and
+fast enough for the event volumes of stationary-sensor surveillance (the
+binary-hungry path is the in-process :class:`~repro.serving.hub.TrackingHub`,
+which skips the transport entirely).
+
+Client → server::
+
+    {"type": "hello", "sensor_id": "ENG-00", "width": 240, "height": 180}
+    {"type": "events", "x": [...], "y": [...], "t": [...], "p": [...]}
+    {"type": "stats"}
+    {"type": "finish"}
+
+Server → client::
+
+    {"type": "welcome", "frame_duration_us": 66000, "reorder_slack_us": 5000, ...}
+    {"type": "frame", "sensor_id": ..., "frame_index": ..., "tracks": [...]}
+    {"type": "stats", "telemetry": {...}}
+    {"type": "summary", "recording": {...}}      # terminal reply to finish
+    {"type": "error", "message": "..."}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+import numpy as np
+
+from repro.core.pipeline import FrameResult
+from repro.events.types import make_packet
+from repro.runtime.aggregate import RecordingResult
+
+#: Bumped on wire-format changes; the server advertises it in ``welcome``.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A malformed or out-of-sequence protocol message."""
+
+
+# -- framing ---------------------------------------------------------------------------
+
+
+def encode_message(message: dict) -> bytes:
+    """Serialise one message to a compact JSON line (UTF-8, trailing \\n)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line) -> dict:
+    """Parse one line into a message dict; raise :class:`ProtocolError` on junk."""
+    if isinstance(line, (bytes, bytearray)):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty protocol line")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"invalid JSON: {error}") from error
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("message must be a JSON object with a 'type' field")
+    return message
+
+
+# -- client-side constructors ----------------------------------------------------------
+
+
+def hello_message(sensor_id: str, width: int = 240, height: int = 180) -> dict:
+    """The connection-opening handshake."""
+    return {
+        "type": "hello",
+        "sensor_id": sensor_id,
+        "width": width,
+        "height": height,
+        "version": PROTOCOL_VERSION,
+    }
+
+
+def events_message(events: np.ndarray) -> dict:
+    """Encode one event batch as parallel coordinate lists."""
+    return {
+        "type": "events",
+        "x": events["x"].tolist(),
+        "y": events["y"].tolist(),
+        "t": events["t"].tolist(),
+        "p": events["p"].tolist(),
+    }
+
+
+def packet_from_events_message(message: dict) -> np.ndarray:
+    """Decode an ``events`` message back into a structured packet."""
+    try:
+        return make_packet(
+            message["x"], message["y"], message["t"], message["p"]
+        )
+    except KeyError as error:
+        raise ProtocolError(f"events message missing field {error}") from error
+    except (ValueError, TypeError) as error:
+        raise ProtocolError(f"invalid events payload: {error}") from error
+
+
+# -- server-side constructors ----------------------------------------------------------
+
+
+def welcome_message(
+    frame_duration_us: int, reorder_slack_us: int, width: int, height: int
+) -> dict:
+    """The server's reply to ``hello``."""
+    return {
+        "type": "welcome",
+        "version": PROTOCOL_VERSION,
+        "frame_duration_us": frame_duration_us,
+        "reorder_slack_us": reorder_slack_us,
+        "width": width,
+        "height": height,
+    }
+
+
+def frame_message(sensor_id: str, frame: FrameResult) -> dict:
+    """One closed frame's track observations."""
+    return {
+        "type": "frame",
+        "sensor_id": sensor_id,
+        "frame_index": frame.frame_index,
+        "t_start_us": frame.t_start_us,
+        "t_end_us": frame.t_end_us,
+        "num_events": frame.num_events,
+        "num_proposals": len(frame.proposals),
+        "tracks": [observation.to_dict() for observation in frame.tracks],
+    }
+
+
+def summary_message(result: RecordingResult) -> dict:
+    """The terminal per-sensor summary (reply to ``finish``)."""
+    return {"type": "summary", "recording": result.to_dict()}
+
+
+def stats_message(telemetry: dict) -> dict:
+    """A telemetry snapshot (reply to ``stats``)."""
+    return {"type": "stats", "telemetry": telemetry}
+
+
+def error_message(message: str, sensor_id: Optional[str] = None) -> dict:
+    """An error report; the connection stays usable unless noted."""
+    payload = {"type": "error", "message": message}
+    if sensor_id is not None:
+        payload["sensor_id"] = sensor_id
+    return payload

@@ -1,0 +1,193 @@
+"""One live sensor = one :class:`SensorSession`.
+
+A session owns the full per-sensor serving state: an
+:class:`~repro.serving.framer.OnlineFramer` that turns the live batch feed
+into closed ``tF`` windows, an :class:`~repro.core.pipeline.EbbiotPipeline`
+that runs the incremental EBBI → RPN → tracker step on each closed window,
+and the same running summary statistics the batch runtime reports (``alpha``,
+events/frame, active trackers), so a live sensor and a replayed recording
+produce directly comparable :class:`~repro.runtime.aggregate.RecordingResult`
+summaries.
+
+Sessions are single-threaded by design: the hub shards sensors across
+workers and each session only ever runs on its shard's worker, so no locks
+are needed here.  :meth:`snapshot` / :meth:`restore` checkpoint the tracker
+and statistics between batches (state migration, fault recovery).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import EbbiotConfig
+from repro.core.pipeline import EbbiotPipeline, FrameResult, PipelineResult, PipelineState
+from repro.runtime.aggregate import RecordingResult
+from repro.serving.framer import OnlineFramer
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """Checkpoint of a session's pipeline state between batches.
+
+    The framer's in-flight buffer is deliberately *not* part of the
+    snapshot: checkpoints are taken at batch boundaries and un-closed events
+    are still owned by the transport (a resumed session re-ingests from the
+    last acknowledged batch).
+    """
+
+    sensor_id: str
+    pipeline: PipelineState
+    frames_processed: int
+    events_ingested: int
+
+
+class SensorSession:
+    """Incremental EBBIOT processing of one live sensor's event feed.
+
+    Parameters
+    ----------
+    sensor_id:
+        Stable identifier of the sensor (shard key in the hub).
+    config:
+        Pipeline configuration; defaults to the paper's parameters.
+    reorder_slack_us:
+        Out-of-order tolerance handed to the :class:`OnlineFramer`.
+    collect_frames:
+        Keep per-frame :class:`FrameResult` objects in :attr:`result`
+        (handy in tests; off for long-lived production sessions).
+    keep_history:
+        Accumulate every :class:`TrackObservation` in
+        ``result.track_history``.  The hub turns this off for its sessions
+        so an indefinitely streaming sensor stays at constant memory; the
+        summary counts (observations, distinct tracks) are maintained
+        separately and are unaffected.
+    """
+
+    def __init__(
+        self,
+        sensor_id: str,
+        config: Optional[EbbiotConfig] = None,
+        reorder_slack_us: int = 5_000,
+        collect_frames: bool = False,
+        keep_history: bool = True,
+    ) -> None:
+        self.sensor_id = sensor_id
+        self.pipeline = EbbiotPipeline(config)
+        self.framer = OnlineFramer(
+            frame_duration_us=self.pipeline.config.frame_duration_us,
+            reorder_slack_us=reorder_slack_us,
+        )
+        self.collect_frames = collect_frames
+        self.keep_history = keep_history
+        self.result = PipelineResult()
+        self._started_monotonic = time.perf_counter()
+        self._busy_s = 0.0
+        self._finished = False
+        self._num_observations = 0
+        self._track_ids = set()
+
+    # -- ingestion -----------------------------------------------------------------------
+
+    def ingest(self, events: np.ndarray) -> List[FrameResult]:
+        """Feed one batch of events; return the frames it closed (often [])."""
+        if self._finished:
+            raise RuntimeError(f"session {self.sensor_id!r} is already finished")
+        started = time.perf_counter()
+        frames = [self._process(w) for w in self.framer.append(events)]
+        self._busy_s += time.perf_counter() - started
+        return frames
+
+    def finish(self) -> List[FrameResult]:
+        """End of stream: flush the framer and process the tail windows."""
+        if self._finished:
+            return []
+        started = time.perf_counter()
+        frames = [self._process(w) for w in self.framer.flush()]
+        self._busy_s += time.perf_counter() - started
+        self._finished = True
+        return frames
+
+    def _process(self, window) -> FrameResult:
+        frame = self.pipeline.process_frame_events(
+            window.events, window.t_start_us, window.t_end_us, window.frame_index
+        )
+        self.result.add_frame(
+            frame, keep=self.collect_frames, keep_history=self.keep_history
+        )
+        self._num_observations += len(frame.tracks)
+        self._track_ids.update(observation.track_id for observation in frame.tracks)
+        return frame
+
+    # -- state ---------------------------------------------------------------------------
+
+    @property
+    def frames_processed(self) -> int:
+        """Windows fully processed so far."""
+        return self.result.frames_processed
+
+    @property
+    def events_ingested(self) -> int:
+        """Events accepted by the framer (excludes late drops)."""
+        return self.framer.events_accepted
+
+    @property
+    def late_events(self) -> int:
+        """Events dropped for arriving after their window closed."""
+        return self.framer.late_events
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`finish` has been called."""
+        return self._finished
+
+    def snapshot(self) -> SessionSnapshot:
+        """Checkpoint the pipeline state (call between batches)."""
+        return SessionSnapshot(
+            sensor_id=self.sensor_id,
+            pipeline=self.pipeline.snapshot(),
+            frames_processed=self.frames_processed,
+            events_ingested=self.events_ingested,
+        )
+
+    def restore(self, snapshot: SessionSnapshot) -> None:
+        """Reinstate a checkpoint taken by :meth:`snapshot`.
+
+        Only the pipeline (tracker + statistics) is restored; the track
+        history accumulated in :attr:`result` is left as-is since it
+        reflects frames already delivered downstream.
+        """
+        if snapshot.sensor_id != self.sensor_id:
+            raise ValueError(
+                f"snapshot belongs to sensor {snapshot.sensor_id!r}, "
+                f"not {self.sensor_id!r}"
+            )
+        self.pipeline.restore(snapshot.pipeline)
+
+    # -- summary -------------------------------------------------------------------------
+
+    def summary(self) -> RecordingResult:
+        """The live session summarised exactly like a batch recording.
+
+        ``duration_s`` is the stream time covered by closed windows and
+        ``wall_time_s`` the time actually spent in the pipeline (framing +
+        processing), so ``realtime_factor`` reads as "how much faster than
+        the sensor the session is running".
+        """
+        covered_us = self.frames_processed * self.pipeline.config.frame_duration_us
+        return RecordingResult(
+            name=self.sensor_id,
+            num_events=self.events_ingested,
+            num_frames=self.frames_processed,
+            duration_s=covered_us * 1e-6,
+            wall_time_s=self._busy_s,
+            mean_active_pixel_fraction=self.pipeline.ebbi_builder.mean_active_pixel_fraction,
+            mean_events_per_frame=self.pipeline.mean_events_per_frame,
+            mean_active_trackers=self.pipeline.tracker.mean_active_trackers,
+            num_tracks=len(self._track_ids),
+            num_track_observations=self._num_observations,
+            num_proposals=self.result.total_proposals(),
+        )

@@ -1,0 +1,180 @@
+"""Telemetry for the live serving layer.
+
+Every sensor session tracked by a :class:`~repro.serving.hub.TrackingHub`
+gets one :class:`SensorTelemetry` record: ingestion counters (events,
+batches, drops), output counters (frames, track observations), a queue-depth
+gauge and a sliding window of per-frame latencies.  The whole registry
+exports as one JSON document (``python -m repro.serving --telemetry-json``),
+which is what an operator dashboard or the latency benchmark scrapes.
+
+Counters are updated from the hub's worker threads and read from control
+threads, so each record guards its state with a lock; updates are a few
+increments, so contention is negligible next to the pipeline work.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+
+class LatencyWindow:
+    """Sliding window of recent latency samples with percentile queries.
+
+    Keeps the last ``capacity`` samples (seconds).  A bounded window makes
+    the percentiles reflect *recent* behaviour — exactly what a live
+    dashboard wants — and caps memory per sensor.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._samples: Deque[float] = deque(maxlen=capacity)
+        self._count = 0
+        self._total = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample."""
+        self._samples.append(seconds)
+        self._count += 1
+        self._total += seconds
+
+    @property
+    def count(self) -> int:
+        """Samples recorded over the window's lifetime (not just retained)."""
+        return self._count
+
+    @property
+    def mean_s(self) -> float:
+        """Lifetime mean latency in seconds."""
+        if self._count == 0:
+            return 0.0
+        return self._total / self._count
+
+    def percentile_s(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) over the retained window."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (counts and key percentiles, ms)."""
+        return {
+            "count": self._count,
+            "mean_ms": self.mean_s * 1e3,
+            "p50_ms": self.percentile_s(50) * 1e3,
+            "p95_ms": self.percentile_s(95) * 1e3,
+            "p99_ms": self.percentile_s(99) * 1e3,
+        }
+
+
+class SensorTelemetry:
+    """Mutable, lock-guarded telemetry record of one live sensor."""
+
+    def __init__(self, sensor_id: str) -> None:
+        self.sensor_id = sensor_id
+        self._lock = threading.Lock()
+        self.events_received = 0
+        self.batches_received = 0
+        self.frames_emitted = 0
+        self.track_observations = 0
+        self.late_events = 0
+        self.dropped_batches = 0
+        self.dropped_events = 0
+        self.queue_depth = 0
+        self.frame_latency = LatencyWindow()
+
+    def record_batch(self, num_events: int) -> None:
+        """Count one accepted ingest batch."""
+        with self._lock:
+            self.batches_received += 1
+            self.events_received += num_events
+
+    def record_drop(self, num_events: int) -> None:
+        """Count one batch rejected by the backpressure policy."""
+        with self._lock:
+            self.dropped_batches += 1
+            self.dropped_events += num_events
+
+    def record_frames(
+        self, num_frames: int, num_tracks: int, latency_s: float, late_events: int
+    ) -> None:
+        """Count the frames closed by one ingest step.
+
+        ``latency_s`` is the enqueue-to-frame-completion wall time; it is
+        recorded once per closed frame so the percentiles weight frames, not
+        batches.
+        """
+        with self._lock:
+            self.frames_emitted += num_frames
+            self.track_observations += num_tracks
+            self.late_events = late_events
+            for _ in range(num_frames):
+                self.frame_latency.record(latency_s)
+
+    def set_queue_depth(self, depth: int) -> None:
+        """Update the queue-depth gauge."""
+        with self._lock:
+            self.queue_depth = depth
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot."""
+        with self._lock:
+            return {
+                "sensor_id": self.sensor_id,
+                "events_received": self.events_received,
+                "batches_received": self.batches_received,
+                "frames_emitted": self.frames_emitted,
+                "track_observations": self.track_observations,
+                "late_events": self.late_events,
+                "dropped_batches": self.dropped_batches,
+                "dropped_events": self.dropped_events,
+                "queue_depth": self.queue_depth,
+                "frame_latency": self.frame_latency.to_dict(),
+            }
+
+
+class TelemetryRegistry:
+    """All sensors' telemetry, exportable as one JSON document."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sensors: Dict[str, SensorTelemetry] = {}
+
+    def sensor(self, sensor_id: str) -> SensorTelemetry:
+        """Get (or lazily create) the record of one sensor."""
+        with self._lock:
+            record = self._sensors.get(sensor_id)
+            if record is None:
+                record = SensorTelemetry(sensor_id)
+                self._sensors[sensor_id] = record
+            return record
+
+    def get(self, sensor_id: str) -> Optional[SensorTelemetry]:
+        """The record of one sensor, or ``None`` if never seen."""
+        with self._lock:
+            return self._sensors.get(sensor_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sensors)
+
+    def to_dict(self) -> dict:
+        """Snapshot of every sensor plus fleet totals."""
+        with self._lock:
+            sensors = {sid: rec.to_dict() for sid, rec in self._sensors.items()}
+        totals = {
+            "num_sensors": len(sensors),
+            "events_received": sum(s["events_received"] for s in sensors.values()),
+            "frames_emitted": sum(s["frames_emitted"] for s in sensors.values()),
+            "track_observations": sum(
+                s["track_observations"] for s in sensors.values()
+            ),
+            "late_events": sum(s["late_events"] for s in sensors.values()),
+            "dropped_batches": sum(s["dropped_batches"] for s in sensors.values()),
+            "dropped_events": sum(s["dropped_events"] for s in sensors.values()),
+        }
+        return {"sensors": sensors, "totals": totals}

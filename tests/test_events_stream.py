@@ -223,3 +223,42 @@ class TestFrameBoundariesAndIndex:
         for i, (t_start, t_end, events) in enumerate(legacy):
             assert index.starts[i] == t_start
             np.testing.assert_array_equal(index.frame_events(i), events)
+
+
+class TestFromArraysAndNormalization:
+    def test_from_arrays_round_trip(self):
+        stream = EventStream.from_arrays(
+            [10, 20], [30, 40], [100, 50], [1, -1], width=240, height=180
+        )
+        # Sorted by timestamp on construction.
+        assert stream.events["t"].tolist() == [50, 100]
+        assert stream.events["x"].tolist() == [20, 10]
+        assert len(stream) == 2
+
+    def test_from_arrays_defaults_polarity_to_on(self):
+        stream = EventStream.from_arrays([1, 2], [3, 4], [10, 20])
+        assert stream.events["p"].tolist() == [1, 1]
+
+    def test_from_arrays_validates_bounds(self):
+        with pytest.raises(ValueError):
+            EventStream.from_arrays([999], [0], [0], width=240, height=180)
+
+    def test_reordered_dtype_accepted(self):
+        reordered_dtype = np.dtype(
+            [("t", np.int64), ("x", np.int16), ("y", np.int16), ("p", np.int8)]
+        )
+        packet = np.zeros(3, dtype=reordered_dtype)
+        packet["x"] = [1, 2, 3]
+        packet["t"] = [30, 20, 10]
+        packet["p"] = [1, 1, -1]
+        stream = EventStream(packet)
+        from repro.events.types import EVENT_DTYPE
+
+        assert stream.events.dtype == EVENT_DTYPE
+        assert stream.events["t"].tolist() == [10, 20, 30]
+        assert stream.events["x"].tolist() == [3, 2, 1]
+
+    def test_wrong_fields_still_rejected(self):
+        bad = np.zeros(2, dtype=np.dtype([("a", np.int16), ("b", np.int16)]))
+        with pytest.raises(TypeError):
+            EventStream(bad)

@@ -126,3 +126,68 @@ class TestPacketProperties:
         merged = concatenate_packets([packet[:half], packet[half:]])
         assert len(merged) == len(packet)
         assert is_time_sorted(merged)
+
+
+class TestNormalizePacket:
+    def test_canonical_dtype_is_returned_unchanged(self):
+        from repro.events.types import normalize_packet
+
+        packet = make_packet([1], [2], [3], [1])
+        assert normalize_packet(packet) is packet
+
+    def test_reordered_fields_are_normalized(self):
+        from repro.events.types import EVENT_DTYPE, normalize_packet
+
+        reordered_dtype = np.dtype(
+            [("t", np.int64), ("p", np.int8), ("x", np.int16), ("y", np.int16)]
+        )
+        reordered = np.zeros(2, dtype=reordered_dtype)
+        reordered["x"] = [5, 6]
+        reordered["y"] = [7, 8]
+        reordered["t"] = [100, 200]
+        reordered["p"] = [1, -1]
+        normalized = normalize_packet(reordered)
+        assert normalized.dtype == EVENT_DTYPE
+        assert normalized["x"].tolist() == [5, 6]
+        assert normalized["t"].tolist() == [100, 200]
+        assert normalized["p"].tolist() == [1, -1]
+
+    def test_wider_field_types_are_cast(self):
+        from repro.events.types import EVENT_DTYPE, normalize_packet
+
+        wide_dtype = np.dtype(
+            [("x", np.int64), ("y", np.int64), ("t", np.int64), ("p", np.int64)]
+        )
+        wide = np.zeros(1, dtype=wide_dtype)
+        wide["x"] = 12
+        normalized = normalize_packet(wide)
+        assert normalized.dtype == EVENT_DTYPE
+        assert normalized["x"][0] == 12
+
+    def test_missing_fields_rejected(self):
+        from repro.events.types import normalize_packet
+
+        bad = np.zeros(1, dtype=np.dtype([("x", np.int16), ("y", np.int16)]))
+        with pytest.raises(TypeError):
+            normalize_packet(bad)
+        with pytest.raises(TypeError):
+            normalize_packet(np.zeros(3))
+
+    def test_event_packet_accepts_reordered_fields(self):
+        reordered = np.zeros(
+            1, dtype=np.dtype([("p", np.int8), ("t", np.int64), ("y", np.int16), ("x", np.int16)])
+        )
+        wrapper = EventPacket(reordered, 240, 180)
+        from repro.events.types import EVENT_DTYPE
+
+        assert wrapper.events.dtype == EVENT_DTYPE
+
+    def test_overflowing_values_rejected_not_wrapped(self):
+        from repro.events.types import normalize_packet
+
+        wide = np.zeros(1, dtype=np.dtype(
+            [("x", np.int64), ("y", np.int64), ("t", np.int64), ("p", np.int64)]
+        ))
+        wide["x"] = 65_546  # would silently wrap to 10 in int16
+        with pytest.raises(ValueError):
+            normalize_packet(wide)

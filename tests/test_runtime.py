@@ -321,3 +321,134 @@ class TestCli:
 
         assert main(["--scenes", "0"]) == 2
         assert main(["--scenes", "2", "--duration", "0"]) == 2
+
+
+class TestProcessExecutorCoverage:
+    def test_process_executor_applies_per_job_config(self):
+        # Per-job configs must survive pickling into the worker process.
+        job = _jobs(1)[0]
+        job.config = EbbiotConfig(min_proposal_area=10_000.0)
+        batch = StreamRunner(
+            RunnerConfig(executor="process", max_workers=1)
+        ).run([job])
+        assert batch.recordings[0].num_proposals == 0
+
+    def test_process_executor_handles_empty_recording(self):
+        from repro.events.types import empty_packet
+
+        jobs = [
+            RecordingJob(name="empty", stream=EventStream(empty_packet(), 240, 180)),
+            _jobs(1)[0],
+        ]
+        batch = StreamRunner(
+            RunnerConfig(executor="process", max_workers=2)
+        ).run(jobs)
+        empty, nonempty = batch.recordings
+        assert empty.num_events == 0
+        assert empty.num_frames == 0
+        assert nonempty.num_frames > 0
+
+
+class TestZeroFrameAggregation:
+    def test_run_recording_on_empty_stream(self):
+        from repro.events.types import empty_packet
+
+        job = RecordingJob(name="empty", stream=EventStream(empty_packet(), 240, 180))
+        result = run_recording(job, RunnerConfig(executor="serial"))
+        assert result.num_events == 0
+        assert result.num_frames == 0
+        assert result.mean_active_pixel_fraction == 0.0
+        assert result.mean_events_per_frame == 0.0
+        assert result.mean_active_trackers == 0.0
+        assert result.events_per_second == 0.0
+
+    def test_fleet_means_over_zero_frame_recordings_are_finite(self):
+        # Fleet means must be 0.0, not NaN, when no recording has frames.
+        def zero_frame(name):
+            return RecordingResult(
+                name=name,
+                num_events=0,
+                num_frames=0,
+                duration_s=0.0,
+                wall_time_s=0.0,
+                mean_active_pixel_fraction=0.0,
+                mean_events_per_frame=0.0,
+                mean_active_trackers=0.0,
+                num_tracks=0,
+                num_track_observations=0,
+                num_proposals=0,
+            )
+
+        batch = BatchResult(
+            recordings=[zero_frame("a"), zero_frame("b")], wall_time_s=0.0
+        )
+        summary = batch.fleet_summary()
+        for key in (
+            "mean_active_pixel_fraction",
+            "mean_events_per_frame",
+            "mean_active_trackers",
+            "events_per_second",
+        ):
+            value = summary.get(key, getattr(batch, key, None))
+            assert value == 0.0, key
+        assert not any(
+            isinstance(v, float) and np.isnan(v)
+            for v in summary.values()
+            if isinstance(v, float)
+        )
+
+    def test_mixed_zero_and_nonzero_frame_recordings(self):
+        from repro.events.types import empty_packet
+
+        jobs = [
+            RecordingJob(name="empty", stream=EventStream(empty_packet(), 240, 180)),
+            _jobs(1)[0],
+        ]
+        batch = StreamRunner(RunnerConfig(executor="serial")).run(jobs)
+        assert batch.total_frames > 0
+        assert np.isfinite(batch.mean_active_pixel_fraction)
+        assert np.isfinite(batch.mean_events_per_frame)
+
+
+class TestSceneDiversity:
+    def test_default_mix_cycles_four_site_types(self):
+        from repro.runtime import DEFAULT_SITE_SPECS
+
+        recordings = build_scene_recordings(4, duration_s=1.0)
+        prefixes = [r.name.split("-")[0] for r in recordings]
+        assert prefixes == [spec.name for spec in DEFAULT_SITE_SPECS]
+        assert prefixes == ["ENG", "LT4", "RAIN", "CROSS"]
+
+    def test_rain_recording_is_noisier_than_lt4(self):
+        from repro.runtime import build_rain_recording
+        from repro.datasets.synthetic import LT4_LIKE_SPEC, build_recording
+
+        rain = build_rain_recording(duration_s=1.0, seed=1)
+        quiet = build_recording(LT4_LIKE_SPEC, duration_override_s=1.0)
+        assert rain.stream.mean_event_rate > 2 * quiet.stream.mean_event_rate
+
+    def test_crossing_recording_produces_occlusion(self):
+        from repro.core import EbbiotPipeline
+        from repro.runtime import build_crossing_recording
+
+        recording = build_crossing_recording(duration_s=3.0, seed=5)
+        assert recording.annotations.num_tracks() == 2
+        pipeline = EbbiotPipeline(EbbiotConfig())
+        pipeline.process_stream(recording.stream, collect_frames=False)
+        assert pipeline.tracker.occlusions_detected > 0
+
+    def test_special_scenes_work_in_fleet_run(self):
+        jobs = build_scene_jobs(4, duration_s=1.0)
+        batch = StreamRunner(RunnerConfig(executor="thread")).run(jobs)
+        assert len(batch) == 4
+        assert all(r.num_frames > 0 for r in batch.recordings)
+
+    def test_custom_site_spec_overrides_are_respected(self):
+        from dataclasses import replace
+
+        from repro.runtime import RAIN_LIKE_SPEC
+
+        quiet_rain = replace(RAIN_LIKE_SPEC, noise_rate_hz_per_pixel=0.05)
+        quiet = build_scene_recordings(1, duration_s=1.0, site_specs=[quiet_rain])
+        loud = build_scene_recordings(1, duration_s=1.0, site_specs=[RAIN_LIKE_SPEC])
+        assert quiet[0].stream.mean_event_rate < loud[0].stream.mean_event_rate / 2

@@ -1,0 +1,229 @@
+"""Tests for the sharded :class:`TrackingHub` and the telemetry registry."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import EbbiotConfig, EbbiotPipeline
+from repro.events.stream import EventStream
+from repro.events.types import make_packet
+from repro.serving import HubConfig, TrackingHub
+from repro.serving.telemetry import LatencyWindow, TelemetryRegistry
+
+
+def _moving_block_stream(seed: int, num_frames: int = 10) -> EventStream:
+    rng = np.random.default_rng(seed)
+    xs, ys, ts = [], [], []
+    for frame_index in range(num_frames):
+        x0 = 20 + 3 * frame_index
+        y0 = 40 + (seed % 60)
+        t = frame_index * 66_000 + 10_000
+        for dy in range(6):
+            for dx in range(6):
+                xs.append(x0 + dx)
+                ys.append(y0 + dy)
+                ts.append(t + int(rng.integers(0, 40_000)))
+    packet = make_packet(xs, ys, ts, [1] * len(xs))
+    return EventStream(packet, 240, 180)
+
+
+def _batches(stream: EventStream, batch_us: int = 22_000):
+    events = stream.events
+    for lo in range(0, int(events["t"][-1]) + 1, batch_us):
+        i0, i1 = np.searchsorted(events["t"], [lo, lo + batch_us])
+        if i1 > i0:
+            yield events[i0:i1]
+
+
+class TestHubConfig:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            HubConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            HubConfig(queue_capacity=0)
+        with pytest.raises(ValueError):
+            HubConfig(backpressure="retry")
+        with pytest.raises(ValueError):
+            HubConfig(reorder_slack_us=-1)
+
+
+class TestTrackingHub:
+    def test_multi_sensor_results_match_batch_pipeline(self):
+        streams = {f"sensor-{i}": _moving_block_stream(seed=i) for i in range(6)}
+        with TrackingHub(HubConfig(num_workers=3)) as hub:
+            for sensor_id in streams:
+                hub.register(sensor_id)
+            for sensor_id, stream in streams.items():
+                for batch in _batches(stream):
+                    assert hub.submit(sensor_id, batch)
+            results = {sid: hub.close_sensor(sid) for sid in streams}
+
+        for sensor_id, stream in streams.items():
+            expected = EbbiotPipeline(EbbiotConfig()).process_stream(stream)
+            result = results[sensor_id]
+            assert result.name == sensor_id
+            assert result.num_events == len(stream)
+            assert result.num_frames == expected.num_frames
+            assert result.num_track_observations == (
+                expected.total_track_observations()
+            )
+
+    def test_frames_callback_delivers_all_frames_in_order(self):
+        stream = _moving_block_stream(seed=1)
+        received = []
+        lock = threading.Lock()
+
+        def on_frames(sensor_id, frames):
+            with lock:
+                received.extend(frames)
+
+        with TrackingHub(HubConfig(num_workers=2)) as hub:
+            hub.register("cam", on_frames=on_frames)
+            for batch in _batches(stream):
+                hub.submit("cam", batch)
+            result = hub.close_sensor("cam")
+
+        assert [f.frame_index for f in received] == list(range(result.num_frames))
+
+    def test_drop_policy_sheds_batches_and_counts_them(self):
+        # One shard with a one-slot queue.  The workers are deliberately not
+        # running (white-box: mark the hub started without spawning them) so
+        # the queue fills deterministically and the second submit must shed.
+        config = HubConfig(num_workers=1, queue_capacity=1, backpressure="drop")
+        stream = _moving_block_stream(seed=2)
+        batches = list(_batches(stream))
+        hub = TrackingHub(config)
+        hub._started = True
+        hub.register("cam")
+        assert hub.submit("cam", batches[0]) is True
+        assert hub.submit("cam", batches[1]) is False
+        telemetry = hub.telemetry.get("cam").to_dict()
+        assert telemetry["dropped_batches"] == 1
+        assert telemetry["dropped_events"] == len(batches[1])
+        assert telemetry["batches_received"] == 1
+
+    def test_duplicate_registration_rejected(self):
+        with TrackingHub() as hub:
+            hub.register("cam")
+            with pytest.raises(ValueError):
+                hub.register("cam")
+
+    def test_submit_to_unknown_sensor_raises(self):
+        with TrackingHub() as hub:
+            with pytest.raises(KeyError):
+                hub.submit("ghost", _moving_block_stream(0).events[:5])
+            with pytest.raises(KeyError):
+                hub.close_sensor("ghost")
+
+    def test_submit_requires_started_hub(self):
+        hub = TrackingHub()
+        hub.register("cam")
+        with pytest.raises(RuntimeError):
+            hub.submit("cam", _moving_block_stream(0).events[:5])
+
+    def test_poisoned_batch_does_not_kill_shard(self):
+        stream = _moving_block_stream(seed=4)
+        bad = make_packet([500], [500], [1_000], [1])  # out of bounds coords
+        with TrackingHub(HubConfig(num_workers=1)) as hub:
+            hub.register("cam")
+            hub.submit("cam", bad)
+            for batch in _batches(stream):
+                hub.submit("cam", batch)
+            result = hub.close_sensor("cam", timeout=30)
+        assert result.num_frames > 0
+        assert hub.telemetry.get("cam").to_dict()["dropped_batches"] >= 1
+
+    def test_shard_assignment_is_stable(self):
+        hub = TrackingHub(HubConfig(num_workers=3))
+        assert hub.shard_of("cam-1") == hub.shard_of("cam-1")
+        shards = {hub.shard_of(f"cam-{i}") for i in range(32)}
+        assert shards.issubset(set(range(3)))
+
+    def test_batch_result_aggregates_closed_sensors(self):
+        with TrackingHub(HubConfig(num_workers=2)) as hub:
+            for i in range(3):
+                hub.register(f"s{i}")
+            for i in range(3):
+                for batch in _batches(_moving_block_stream(seed=i)):
+                    hub.submit(f"s{i}", batch)
+            for i in range(3):
+                hub.close_sensor(f"s{i}")
+            batch_result = hub.batch_result()
+        assert len(batch_result) == 3
+        assert [r.name for r in batch_result.recordings] == ["s0", "s1", "s2"]
+        assert batch_result.total_events > 0
+
+
+class TestTelemetry:
+    def test_latency_window_percentiles(self):
+        window = LatencyWindow(capacity=100)
+        for ms in range(1, 101):
+            window.record(ms * 1e-3)
+        assert window.count == 100
+        assert window.percentile_s(50) == pytest.approx(0.0505, abs=1e-3)
+        assert window.percentile_s(95) == pytest.approx(0.09505, abs=1e-3)
+        assert window.to_dict()["p50_ms"] == pytest.approx(50.5, abs=1.0)
+
+    def test_latency_window_empty(self):
+        window = LatencyWindow()
+        assert window.percentile_s(95) == 0.0
+        assert window.mean_s == 0.0
+
+    def test_latency_window_bounded_retention(self):
+        window = LatencyWindow(capacity=10)
+        for _ in range(50):
+            window.record(1.0)
+        window.record(2.0)
+        assert window.count == 51  # lifetime count keeps growing
+        assert window.percentile_s(100) == 2.0
+
+    def test_registry_roundtrip(self):
+        registry = TelemetryRegistry()
+        record = registry.sensor("cam")
+        record.record_batch(100)
+        record.record_frames(num_frames=2, num_tracks=3, latency_s=0.01, late_events=1)
+        record.record_drop(40)
+        assert registry.sensor("cam") is record
+        payload = registry.to_dict()
+        assert payload["totals"]["num_sensors"] == 1
+        assert payload["totals"]["events_received"] == 100
+        assert payload["totals"]["frames_emitted"] == 2
+        assert payload["totals"]["track_observations"] == 3
+        assert payload["totals"]["dropped_events"] == 40
+        assert payload["sensors"]["cam"]["late_events"] == 1
+        assert payload["sensors"]["cam"]["frame_latency"]["count"] == 2
+
+    def test_registry_get_unknown(self):
+        assert TelemetryRegistry().get("nope") is None
+
+
+class TestCloseAndRemove:
+    def test_double_close_does_not_double_count_fleet(self):
+        stream = _moving_block_stream(seed=6)
+        with TrackingHub(HubConfig(num_workers=1)) as hub:
+            hub.register("cam")
+            for batch in _batches(stream):
+                hub.submit("cam", batch)
+            first = hub.close_sensor("cam")
+            second = hub.close_sensor("cam")
+            assert second.num_frames == first.num_frames
+            assert second.num_events == first.num_events
+            assert len(hub.batch_result()) == 1
+
+    def test_remove_sensor_allows_id_reuse(self):
+        stream = _moving_block_stream(seed=7)
+        with TrackingHub(HubConfig(num_workers=1)) as hub:
+            hub.register("cam")
+            for batch in _batches(stream):
+                hub.submit("cam", batch)
+            hub.close_sensor("cam")
+            hub.remove_sensor("cam")
+            # Same id registers again as a fresh session.
+            hub.register("cam")
+            for batch in _batches(stream):
+                hub.submit("cam", batch)
+            result = hub.close_sensor("cam")
+            assert result.num_frames > 0

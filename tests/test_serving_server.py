@@ -1,0 +1,233 @@
+"""End-to-end tests of the JSONL TCP server, client and serving CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import EbbiotConfig, EbbiotPipeline
+from repro.events.stream import EventStream
+from repro.events.types import make_packet
+from repro.serving import (
+    HubConfig,
+    ProtocolError,
+    SensorClient,
+    TrackingServer,
+    decode_message,
+    encode_message,
+    stream_recording,
+)
+from repro.serving.protocol import (
+    events_message,
+    hello_message,
+    packet_from_events_message,
+)
+
+
+def _moving_block_stream(seed: int, num_frames: int = 10) -> EventStream:
+    rng = np.random.default_rng(seed)
+    xs, ys, ts = [], [], []
+    for frame_index in range(num_frames):
+        x0 = 20 + 3 * frame_index
+        t = frame_index * 66_000 + 10_000
+        for dy in range(6):
+            for dx in range(6):
+                xs.append(x0 + dx)
+                ys.append(70 + dy)
+                ts.append(t + int(rng.integers(0, 40_000)))
+    packet = make_packet(xs, ys, ts, [1] * len(xs))
+    return EventStream(packet, 240, 180)
+
+
+class TestProtocol:
+    def test_message_round_trip(self):
+        message = {"type": "hello", "sensor_id": "a"}
+        assert decode_message(encode_message(message)) == message
+
+    def test_events_round_trip(self):
+        packet = _moving_block_stream(0).events[:100]
+        decoded = packet_from_events_message(events_message(packet))
+        assert np.array_equal(decoded, packet)
+
+    def test_decode_rejects_junk(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1, 2]\n")
+        with pytest.raises(ProtocolError):
+            decode_message(b"\n")
+
+    def test_events_message_requires_fields(self):
+        with pytest.raises(ProtocolError):
+            packet_from_events_message({"type": "events", "x": [1]})
+
+    def test_hello_message_shape(self):
+        message = hello_message("cam", 240, 180)
+        assert message["sensor_id"] == "cam"
+        assert message["version"] >= 1
+
+
+class TestTrackingServer:
+    def test_single_sensor_round_trip_matches_batch(self):
+        stream = _moving_block_stream(seed=1)
+        expected = EbbiotPipeline(EbbiotConfig()).process_stream(stream)
+        with TrackingServer() as server:
+            host, port = server.address
+            frames, summary = stream_recording(host, port, "cam", stream)
+        assert summary["name"] == "cam"
+        assert summary["num_events"] == len(stream)
+        assert summary["num_frames"] == expected.num_frames
+        assert len(frames) == expected.num_frames
+        # Track observations on the wire match the batch pipeline's.
+        wire_tracks = [track for frame in frames for track in frame["tracks"]]
+        assert len(wire_tracks) == expected.total_track_observations()
+        for wire, obs in zip(wire_tracks, expected.track_history.observations):
+            assert wire["track_id"] == obs.track_id
+            assert wire["x"] == pytest.approx(obs.box.x)
+
+    def test_eight_concurrent_sensors(self):
+        """The ISSUE acceptance criterion: >= 8 concurrent live sensors."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        streams = {f"cam-{i}": _moving_block_stream(seed=i) for i in range(8)}
+        with TrackingServer(hub_config=HubConfig(num_workers=4)) as server:
+            host, port = server.address
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                futures = {
+                    sensor_id: pool.submit(
+                        stream_recording, host, port, sensor_id, stream
+                    )
+                    for sensor_id, stream in streams.items()
+                }
+                outcomes = {sid: f.result(timeout=60) for sid, f in futures.items()}
+            telemetry = server.hub.telemetry.to_dict()
+
+        assert telemetry["totals"]["num_sensors"] == 8
+        for sensor_id, stream in streams.items():
+            frames, summary = outcomes[sensor_id]
+            assert summary["name"] == sensor_id
+            assert summary["num_events"] == len(stream)
+            assert len(frames) == summary["num_frames"] > 0
+            assert sum(len(f["tracks"]) for f in frames) > 0
+
+    def test_duplicate_sensor_id_rejected(self):
+        stream = _moving_block_stream(seed=2)
+        with TrackingServer() as server:
+            host, port = server.address
+            with SensorClient(host, port, "cam") as first:
+                first.send_events(stream.events[:100])
+                with pytest.raises((ProtocolError, ConnectionError)):
+                    SensorClient(host, port, "cam")
+                first.finish()
+
+    def test_stats_request(self):
+        stream = _moving_block_stream(seed=3)
+        with TrackingServer() as server:
+            host, port = server.address
+            with SensorClient(host, port, "cam") as client:
+                client.send_events(stream.events)
+                telemetry = client.request_stats()
+                assert "cam" in telemetry["sensors"]
+                client.finish()
+
+    def test_events_before_hello_rejected(self):
+        import socket
+
+        with TrackingServer() as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=10) as raw:
+                raw.sendall(encode_message({"type": "events", "x": [], "y": [], "t": [], "p": []}))
+                reply = decode_message(raw.makefile("rb").readline())
+                assert reply["type"] == "error"
+                assert "hello" in reply["message"]
+
+    def test_out_of_bounds_events_reported_as_error(self):
+        with TrackingServer() as server:
+            host, port = server.address
+            client = SensorClient(host, port, "cam", width=240, height=180)
+            bad = make_packet([1000], [10], [5_000], [1])
+            client.send_events(bad)
+            with pytest.raises(ProtocolError):
+                client.request_stats()  # the error reply arrives first
+            client.close()
+
+
+class TestServingCli:
+    def test_demo_runs_end_to_end(self, tmp_path, capsys):
+        from repro.serving.__main__ import main
+
+        json_path = tmp_path / "fleet.json"
+        telemetry_path = tmp_path / "telemetry.json"
+        exit_code = main(
+            [
+                "--sensors",
+                "2",
+                "--duration",
+                "1",
+                "--json",
+                str(json_path),
+                "--telemetry-json",
+                str(telemetry_path),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "fleet:" in captured.out
+        payload = json.loads(json_path.read_text())
+        assert payload["fleet"]["num_recordings"] == 2
+        telemetry = json.loads(telemetry_path.read_text())
+        assert telemetry["totals"]["num_sensors"] == 2
+        assert telemetry["totals"]["frames_emitted"] > 0
+
+    def test_cli_rejects_bad_arguments(self, capsys):
+        from repro.serving.__main__ import main
+
+        assert main(["--sensors", "0"]) == 2
+        assert main(["--duration", "0"]) == 2
+        assert main(["--workers", "0"]) == 2
+
+
+class TestNonDefaultResolution:
+    def test_hello_resolution_configures_pipeline(self):
+        """A DAVIS346-like sensor must get frames, not silent drops."""
+        rng = np.random.default_rng(0)
+        xs, ys, ts = [], [], []
+        for frame_index in range(8):
+            x0 = 280 + 3 * frame_index  # beyond 240: needs the wide config
+            t = frame_index * 66_000 + 10_000
+            for dy in range(6):
+                for dx in range(6):
+                    xs.append(x0 + dx)
+                    ys.append(200 + dy)  # beyond 180 too
+                    ts.append(t + int(rng.integers(0, 40_000)))
+        stream = EventStream(make_packet(xs, ys, ts, [1] * len(xs)), 346, 260)
+
+        with TrackingServer() as server:
+            host, port = server.address
+            frames, summary = stream_recording(host, port, "davis346", stream)
+        assert summary["num_events"] == len(stream)
+        assert summary["num_frames"] == len(frames) > 0
+        assert sum(len(f["tracks"]) for f in frames) > 0
+
+    def test_disconnect_without_finish_frees_sensor_id(self):
+        stream = _moving_block_stream(seed=9)
+        with TrackingServer() as server:
+            host, port = server.address
+            client = SensorClient(host, port, "cam")
+            client.send_events(stream.events)
+            client.close()  # abrupt disconnect, no finish
+            # Teardown flushes and deregisters; the id becomes reusable.
+            import time
+
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                try:
+                    frames, summary = stream_recording(host, port, "cam", stream)
+                    break
+                except (ProtocolError, ConnectionError):
+                    time.sleep(0.1)
+            else:
+                raise AssertionError("sensor id was never freed after disconnect")
+            assert summary["num_frames"] > 0

@@ -1,0 +1,200 @@
+"""Tests for :class:`SensorSession`: live processing == batch replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EbbiotConfig, EbbiotPipeline
+from repro.events.stream import EventStream
+from repro.events.types import make_packet
+from repro.serving import SensorSession
+
+
+def _moving_block_stream(seed: int = 0, num_frames: int = 16) -> EventStream:
+    """One 6x6 block crossing the view (same shape as the runtime tests)."""
+    rng = np.random.default_rng(seed)
+    xs, ys, ts = [], [], []
+    for frame_index in range(num_frames):
+        x0 = 20 + 3 * frame_index
+        y0 = 80
+        t = frame_index * 66_000 + 10_000
+        for dy in range(6):
+            for dx in range(6):
+                xs.append(x0 + dx)
+                ys.append(y0 + dy)
+                ts.append(t + int(rng.integers(0, 40_000)))
+    packet = make_packet(xs, ys, ts, [1] * len(xs))
+    return EventStream(packet, 240, 180)
+
+
+def _batches(stream: EventStream, batch_us: int, shuffle_rng=None):
+    """Slice a stream into stream-time batches, optionally shuffled within."""
+    events = stream.events
+    for lo in range(0, int(events["t"][-1]) + 1, batch_us):
+        i0, i1 = np.searchsorted(events["t"], [lo, lo + batch_us])
+        batch = events[i0:i1].copy()
+        if shuffle_rng is not None and len(batch):
+            shuffle_rng.shuffle(batch)
+        yield batch
+
+
+def _assert_observations_equal(live_obs, batch_obs):
+    assert len(live_obs) == len(batch_obs)
+    for a, b in zip(live_obs, batch_obs):
+        assert a.track_id == b.track_id
+        assert a.t_us == b.t_us
+        assert a.box.x == pytest.approx(b.box.x)
+        assert a.box.y == pytest.approx(b.box.y)
+        assert a.box.width == pytest.approx(b.box.width)
+        assert a.box.height == pytest.approx(b.box.height)
+
+
+class TestSessionEquivalence:
+    def test_live_session_matches_process_stream(self):
+        """The ISSUE acceptance criterion: live output == batch replay."""
+        stream = _moving_block_stream()
+        batch = EbbiotPipeline(EbbiotConfig()).process_stream(stream)
+
+        session = SensorSession("s", reorder_slack_us=2_000)
+        for events in _batches(stream, 11_000):
+            session.ingest(events)
+        session.finish()
+        summary = session.summary()
+
+        assert summary.num_frames == batch.num_frames
+        assert summary.num_events == len(stream)
+        assert session.late_events == 0
+        assert summary.mean_events_per_frame == pytest.approx(
+            batch.mean_events_per_frame
+        )
+        assert summary.mean_active_pixel_fraction == pytest.approx(
+            batch.mean_active_pixel_fraction
+        )
+        assert summary.mean_active_trackers == pytest.approx(
+            batch.mean_active_trackers
+        )
+        assert summary.num_track_observations > 0
+        _assert_observations_equal(
+            session.result.track_history.observations,
+            batch.track_history.observations,
+        )
+
+    def test_out_of_order_within_slack_matches_batch(self):
+        """Disorder bounded by the slack lands in the correct EBBI window."""
+        stream = _moving_block_stream(seed=3)
+        batch = EbbiotPipeline(EbbiotConfig()).process_stream(stream)
+
+        rng = np.random.default_rng(7)
+        session = SensorSession("s", reorder_slack_us=12_000)
+        # Shuffling whole 11 ms batches produces disorder both within a
+        # batch (always tolerated) and across adjacent window boundaries.
+        for events in _batches(stream, 11_000, shuffle_rng=rng):
+            session.ingest(events)
+        session.finish()
+
+        assert session.late_events == 0
+        assert session.frames_processed == batch.num_frames
+        _assert_observations_equal(
+            session.result.track_history.observations,
+            batch.track_history.observations,
+        )
+
+    def test_single_giant_batch_matches_batch(self):
+        stream = _moving_block_stream(seed=5)
+        batch = EbbiotPipeline(EbbiotConfig()).process_stream(stream)
+        session = SensorSession("s")
+        session.ingest(stream.events)
+        session.finish()
+        assert session.frames_processed == batch.num_frames
+        _assert_observations_equal(
+            session.result.track_history.observations,
+            batch.track_history.observations,
+        )
+
+
+class TestSessionLifecycle:
+    def test_ingest_after_finish_raises(self):
+        session = SensorSession("s")
+        session.finish()
+        with pytest.raises(RuntimeError):
+            session.ingest(_moving_block_stream().events[:10])
+        assert session.finish() == []  # idempotent
+
+    def test_summary_of_empty_session(self):
+        session = SensorSession("s")
+        session.finish()
+        summary = session.summary()
+        assert summary.num_frames == 0
+        assert summary.num_events == 0
+        assert summary.mean_active_pixel_fraction == 0.0
+        assert summary.events_per_second == 0.0
+
+    def test_snapshot_restore_round_trip(self):
+        """A restored session continues exactly like the original."""
+        stream = _moving_block_stream(seed=9)
+        batches = list(_batches(stream, 66_000))
+        half = len(batches) // 2
+
+        reference = SensorSession("s", reorder_slack_us=0)
+        forked = SensorSession("s", reorder_slack_us=0)
+        for events in batches[:half]:
+            reference.ingest(events)
+            forked.ingest(events)
+
+        checkpoint = forked.snapshot()
+        assert checkpoint.frames_processed == forked.frames_processed
+
+        # Corrupt the fork's tracker state, then restore the checkpoint.
+        forked.pipeline.tracker.reset()
+        forked.restore(checkpoint)
+
+        for events in batches[half:]:
+            reference.ingest(events)
+            forked.ingest(events)
+        reference.finish()
+        forked.finish()
+
+        ref_summary = reference.summary()
+        fork_summary = forked.summary()
+        assert fork_summary.num_frames == ref_summary.num_frames
+        assert fork_summary.mean_active_trackers == pytest.approx(
+            ref_summary.mean_active_trackers
+        )
+        # Track observations after the checkpoint must be identical.
+        ref_tail = [
+            o
+            for o in reference.result.track_history.observations
+            if o.t_us > checkpoint.frames_processed * 66_000
+        ]
+        fork_tail = [
+            o
+            for o in forked.result.track_history.observations
+            if o.t_us > checkpoint.frames_processed * 66_000
+        ]
+        _assert_observations_equal(fork_tail, ref_tail)
+
+    def test_restore_rejects_foreign_snapshot(self):
+        session_a = SensorSession("a")
+        session_b = SensorSession("b")
+        with pytest.raises(ValueError):
+            session_b.restore(session_a.snapshot())
+
+
+class TestBoundedHistory:
+    def test_keep_history_off_keeps_summary_counts_correct(self):
+        stream = _moving_block_stream(seed=11)
+        full = SensorSession("a", keep_history=True)
+        bounded = SensorSession("b", keep_history=False)
+        for events in _batches(stream, 33_000):
+            full.ingest(events)
+            bounded.ingest(events)
+        full.finish()
+        bounded.finish()
+
+        assert len(bounded.result.track_history) == 0  # constant memory
+        ref = full.summary()
+        bounded_summary = bounded.summary()
+        assert bounded_summary.num_track_observations == ref.num_track_observations
+        assert bounded_summary.num_tracks == ref.num_tracks
+        assert ref.num_track_observations == len(full.result.track_history)
