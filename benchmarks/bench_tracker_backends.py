@@ -1,0 +1,204 @@
+"""Tracker-backend shoot-out: the paper's three-way comparison on one path.
+
+The paper's headline claim (Fig. 4 / Fig. 5) is comparative: EBBIOT against
+the EBBI+KF and NN-filt+EBMS baselines on tracking quality and resource
+cost.  This benchmark runs that comparison through the *unified* tracker
+backend layer — every backend processes the identical synthetic fleet via
+``EbbiotConfig(tracker=...)`` and the same ``process_stream`` call — and
+records, per backend:
+
+* pooled CLEAR-MOT quality (MOTA / MOTP over all recordings),
+* precision / recall at the swept IoU thresholds, pooled across recordings,
+* throughput (frames and events per second of pipeline wall time).
+
+The fleet cycles through the four scene types of
+:data:`repro.runtime.scenes.DEFAULT_SITE_SPECS` (ENG-like busy, LT4-like
+quiet, RAIN high-noise, CROSS scripted occlusion), so the ≥3-scene-type
+acceptance bar of the backend refactor is met by default.
+
+Run as a script; emits ``BENCH_tracker_backends.json`` so later PRs can diff
+the numbers::
+
+    PYTHONPATH=src python benchmarks/bench_tracker_backends.py
+    PYTHONPATH=src python benchmarks/bench_tracker_backends.py \\
+        --scenes 4 --duration 4 --output BENCH_tracker_backends.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.core.config import EbbiotConfig
+from repro.core.pipeline import EbbiotPipeline
+from repro.evaluation.mot_metrics import compute_mot_summary
+from repro.evaluation.precision_recall import evaluate_recording
+from repro.runtime.aggregate import merge_mot_summaries
+from repro.runtime.scenes import build_scene_recordings, jobs_from_recordings
+from repro.trackers.registry import available_backends, parse_backend_list
+
+IOU_THRESHOLDS = (0.1, 0.3, 0.5)
+MOT_IOU_THRESHOLD = 0.3
+
+
+def run_backend(recordings, jobs) -> dict:
+    """Run one backend over the whole fleet; return its JSON report block."""
+    per_recording: List[dict] = []
+    mot_summaries = []
+    pooled_counts: Dict[float, List[int]] = {t: [0, 0, 0] for t in IOU_THRESHOLDS}
+    total_frames = 0
+    total_events = 0
+    total_wall_s = 0.0
+
+    for recording, job in zip(recordings, jobs):
+        pipeline = EbbiotPipeline(job.config)
+        started = time.perf_counter()
+        result = pipeline.process_stream(job.stream, collect_frames=False)
+        wall_s = time.perf_counter() - started
+        observations = result.track_history.observations
+
+        mot = compute_mot_summary(
+            observations, job.ground_truth, iou_threshold=MOT_IOU_THRESHOLD
+        )
+        mot_summaries.append(mot)
+        evaluation = evaluate_recording(
+            observations,
+            job.ground_truth,
+            iou_thresholds=IOU_THRESHOLDS,
+            name=job.name,
+        )
+        for threshold in IOU_THRESHOLDS:
+            metrics = evaluation.by_threshold[threshold]
+            pooled_counts[threshold][0] += metrics.true_positives
+            pooled_counts[threshold][1] += metrics.total_tracker_boxes
+            pooled_counts[threshold][2] += metrics.total_ground_truth_boxes
+
+        total_frames += result.num_frames
+        total_events += len(job.stream)
+        total_wall_s += wall_s
+        per_recording.append(
+            {
+                "name": job.name,
+                "scene_type": recording.spec.name.split("-")[0],
+                "num_events": len(job.stream),
+                "num_frames": result.num_frames,
+                "wall_time_s": wall_s,
+                "mota": mot.mota,
+                "motp": mot.motp,
+                "num_tracks": len(result.track_history.track_ids()),
+            }
+        )
+
+    pooled_mot = merge_mot_summaries(mot_summaries)
+    precision_recall = {}
+    for threshold, (tp, tracker_boxes, gt_boxes) in pooled_counts.items():
+        precision_recall[f"{threshold:.1f}"] = {
+            "precision": tp / tracker_boxes if tracker_boxes else 0.0,
+            "recall": tp / gt_boxes if gt_boxes else 0.0,
+            "true_positives": tp,
+            "total_tracker_boxes": tracker_boxes,
+            "total_ground_truth_boxes": gt_boxes,
+        }
+    return {
+        "per_recording": per_recording,
+        "pooled_mot": pooled_mot.to_dict() if pooled_mot is not None else None,
+        "precision_recall": precision_recall,
+        "frames_per_second": total_frames / total_wall_s if total_wall_s else 0.0,
+        "events_per_second": total_events / total_wall_s if total_wall_s else 0.0,
+        "wall_time_s": total_wall_s,
+        "total_frames": total_frames,
+        "total_events": total_events,
+    }
+
+
+def format_comparison(report: dict) -> str:
+    """Human-readable shoot-out table (one row per backend)."""
+    header = (
+        f"{'backend':<8} {'MOTA':>7} {'MOTP':>7} {'P@0.3':>7} {'R@0.3':>7} "
+        f"{'frames/s':>9} {'kev/s':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for backend, block in report["backends"].items():
+        mot = block["pooled_mot"] or {}
+        pr = block["precision_recall"]["0.3"]
+        lines.append(
+            f"{backend:<8} {mot.get('mota', 0.0):>7.3f} {mot.get('motp', 0.0):>7.3f} "
+            f"{pr['precision']:>7.3f} {pr['recall']:>7.3f} "
+            f"{block['frames_per_second']:>9.1f} "
+            f"{block['events_per_second'] / 1e3:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenes", type=int, default=4, help="fleet size (default 4 = all site types)"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=4.0, help="seconds per recording (default 4)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="fleet base seed")
+    parser.add_argument(
+        "--backends",
+        default=",".join(available_backends()),
+        metavar="NAME[,NAME...]",
+        help="backends to compare (default: all registered)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_tracker_backends.json",
+        help="where to write the JSON baseline ('-' for stdout only)",
+    )
+    args = parser.parse_args(argv)
+    if args.scenes < 3:
+        print("error: --scenes must be >= 3 (three scene types minimum)", file=sys.stderr)
+        return 2
+    backends = parse_backend_list(args.backends)
+
+    print(
+        f"rendering {args.scenes} scene(s) of {args.duration:.1f} s "
+        f"for {len(backends)} backend(s) ...",
+        flush=True,
+    )
+    recordings = build_scene_recordings(
+        args.scenes, duration_s=args.duration, base_seed=args.seed
+    )
+    scene_types = sorted({r.spec.name.split("-")[0] for r in recordings})
+
+    report = {
+        "benchmark": "tracker_backends",
+        "config": {
+            "scenes": args.scenes,
+            "duration_s": args.duration,
+            "seed": args.seed,
+            "iou_thresholds": list(IOU_THRESHOLDS),
+            "mot_iou_threshold": MOT_IOU_THRESHOLD,
+        },
+        "scene_types": scene_types,
+        "backends": {},
+    }
+    for backend in backends:
+        print(f"  running backend {backend!r} ...", flush=True)
+        jobs = jobs_from_recordings(recordings, EbbiotConfig(tracker=backend))
+        report["backends"][backend] = run_backend(recordings, jobs)
+
+    print()
+    print(f"scene types: {', '.join(scene_types)}")
+    print(format_comparison(report))
+
+    payload = json.dumps(report, indent=2)
+    if args.output == "-":
+        print(payload)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote JSON baseline to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,6 +53,12 @@ class EbbiotConfig:
         Regions of exclusion (static distractors and occluders).
     min_region_side_px:
         Minimum side length (in full-resolution pixels) of a proposed region.
+    tracker:
+        Name of the tracker backend in the registry of
+        :mod:`repro.trackers.registry` — ``"overlap"`` (the paper's tracker,
+        default), ``"kalman"`` (the EBBI+KF baseline) or ``"ebms"`` (the
+        event-driven NN-filt+EBMS baseline).  Threaded through every layer:
+        core pipeline, batch runtime and live serving.
     """
 
     width: int = 240
@@ -71,6 +77,7 @@ class EbbiotConfig:
     min_proposal_area: float = 16.0
     roe_boxes: List[BoundingBox] = field(default_factory=list)
     min_region_side_px: float = 2.0
+    tracker: str = "overlap"
 
     def __post_init__(self) -> None:
         ensure_positive_int("width", self.width)
@@ -105,6 +112,11 @@ class EbbiotConfig:
             raise ValueError(
                 f"histogram_threshold must be >= 1, got {self.histogram_threshold}"
             )
+        # Deferred import: the registry's backends transitively import the
+        # core package, which imports this module.
+        from repro.trackers.registry import ensure_backend_name
+
+        ensure_backend_name(self.tracker)
 
     @property
     def frame_rate_hz(self) -> float:

@@ -1,26 +1,35 @@
 """The end-to-end EBBIOT pipeline (Fig. 1).
 
 :class:`EbbiotPipeline` wires the three stages together: EBBI generation and
-median filtering, histogram region proposal (with ROE filtering), and the
-overlap tracker.  ``process_stream`` runs a whole recording and returns the
-per-frame results plus the statistics needed by the resource models (mean
-active-pixel fraction ``alpha``, mean events per frame ``n``, mean active
-trackers ``NT``).
+median filtering, histogram region proposal (with ROE filtering), and a
+pluggable tracker backend.  ``process_stream`` runs a whole recording and
+returns the per-frame results plus the statistics needed by the resource
+models (mean active-pixel fraction ``alpha``, mean events per frame ``n``,
+mean active trackers ``NT``).
+
+The tracker stage is selected by ``EbbiotConfig.tracker`` through the
+registry of :mod:`repro.trackers.registry`: ``"overlap"`` (the paper's
+tracker, default), ``"kalman"`` (the EBBI+KF baseline) or ``"ebms"`` (the
+event-driven NN-filt+EBMS baseline).  Backends that declare
+``requires_proposals = False`` (EBMS) make the pipeline skip the RPN + ROE
+stages and instead receive each window's raw events, so the one
+``process_stream`` / ``process_frame_events`` path reproduces all three of
+the paper's Fig. 4/5 pipelines.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.config import EbbiotConfig
 from repro.core.ebbi import EbbiBuilder, EbbiFrames
 from repro.core.histogram_rpn import HistogramRegionProposer, RegionProposal
-from repro.core.overlap_tracker import OverlapTracker, OverlapTrackerConfig, TrackerState
 from repro.core.roe import RegionOfExclusion
 from repro.events.stream import EventStream
+from repro.trackers.backend import BackendState, TrackerBackend, TrackerFrame
 from repro.trackers.base import TrackHistory, TrackObservation
 
 
@@ -29,12 +38,15 @@ class PipelineState:
     """Snapshot of an :class:`EbbiotPipeline`'s incremental state.
 
     Everything a live session needs to checkpoint and later resume (or
-    migrate to another worker): the tracker slots and the running summary
-    statistics.  Deliberately tiny — the EBBI frames themselves are
-    per-window scratch and never part of the state.
+    migrate to another worker): the tracker backend's state envelope and the
+    running summary statistics.  Deliberately tiny — the EBBI frames
+    themselves are per-window scratch and never part of the state.  The
+    :class:`~repro.trackers.backend.BackendState` is tagged with its backend
+    name, so restoring a checkpoint into a pipeline running a different
+    tracker fails loudly.
     """
 
-    tracker: TrackerState
+    tracker: BackendState
     ebbi_stats: tuple
     total_events: int
     frames_processed: int
@@ -106,26 +118,35 @@ class PipelineResult:
 
 
 class EbbiotPipeline:
-    """EBBI generation + histogram RPN + overlap tracker.
+    """EBBI generation + histogram RPN + a pluggable tracker backend.
 
     Parameters
     ----------
     config:
-        Pipeline configuration; defaults to the paper's parameters.
+        Pipeline configuration; defaults to the paper's parameters.  The
+        ``config.tracker`` name selects the backend.
     keep_frames:
         When ``True`` each :class:`FrameResult` retains its raw/filtered
         EBBI frames (useful for visualisation but memory hungry for long
         recordings).
+    tracker:
+        Optional override of ``config.tracker``: a registry name or a ready
+        :class:`~repro.trackers.backend.TrackerBackend` instance (tests and
+        experiments inject custom trackers this way).
     """
 
     def __init__(
-        self, config: Optional[EbbiotConfig] = None, keep_frames: bool = False
+        self,
+        config: Optional[EbbiotConfig] = None,
+        keep_frames: bool = False,
+        tracker: Optional[Union[str, TrackerBackend]] = None,
     ) -> None:
+        # Deferred import: the registry's backends transitively import the
+        # core package, which imports this module.
+        from repro.trackers.registry import create_backend
+
         self.config = config or EbbiotConfig()
         self.keep_frames = keep_frames
-        self.ebbi_builder = EbbiBuilder(
-            self.config.width, self.config.height, self.config.median_patch_size
-        )
         self.region_proposer = HistogramRegionProposer(
             downsample_x=self.config.downsample_x,
             downsample_y=self.config.downsample_y,
@@ -133,18 +154,30 @@ class EbbiotPipeline:
             min_region_side_px=self.config.min_region_side_px,
         )
         self.roe = RegionOfExclusion(boxes=list(self.config.roe_boxes))
-        self.tracker = OverlapTracker(
-            OverlapTrackerConfig(
-                max_trackers=self.config.max_trackers,
-                overlap_threshold=self.config.overlap_threshold,
-                prediction_weight=self.config.prediction_weight,
-                occlusion_lookahead_frames=self.config.occlusion_lookahead_frames,
-                min_track_age_frames=self.config.min_track_age_frames,
-                max_missed_frames=self.config.max_missed_frames,
-            )
+        self.tracker: TrackerBackend = create_backend(
+            tracker if tracker is not None else self.config.tracker, self.config
         )
+        self.ebbi_builder = self._make_ebbi_builder()
         self._total_events = 0
         self._frames_processed = 0
+
+    def _make_ebbi_builder(self) -> EbbiBuilder:
+        """EBBI builder for the active backend.
+
+        When no stage consumes the filtered frame (a proposal-free backend
+        such as EBMS — the paper's event-driven pipeline has no EBBI stage
+        at all), the median filter is disabled; raw accumulation alone
+        provides the ``alpha``/``n`` statistics.
+        """
+        patch_size = (
+            self.config.median_patch_size if self.tracker.requires_proposals else 0
+        )
+        return EbbiBuilder(self.config.width, self.config.height, patch_size)
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the active tracker backend."""
+        return self.tracker.name
 
     # -- single-frame processing ---------------------------------------------------------
 
@@ -153,16 +186,36 @@ class EbbiotPipeline:
     ) -> FrameResult:
         """Process one accumulation window of events through all stages."""
         ebbi = self.ebbi_builder.build(events, t_start_us, t_end_us)
-        return self._process_built_frame(ebbi, frame_index)
+        return self._process_built_frame(ebbi, frame_index, events)
 
-    def _process_built_frame(self, ebbi: EbbiFrames, frame_index: int) -> FrameResult:
-        """RPN + ROE + tracker stages for an already-built EBBI frame."""
-        proposals = self.region_proposer.propose(ebbi.filtered)
-        proposals = [
-            p for p in proposals if p.box.area >= self.config.min_proposal_area
-        ]
-        proposals = self.roe.filter_proposals(proposals)
-        tracks = self.tracker.process_frame(proposals, ebbi.t_mid_us)
+    def _process_built_frame(
+        self,
+        ebbi: EbbiFrames,
+        frame_index: int,
+        events: Optional[np.ndarray] = None,
+    ) -> FrameResult:
+        """RPN + ROE + tracker stages for an already-built EBBI frame.
+
+        ``events`` is the window's raw packet; event-driven backends
+        (``requires_events``) consume it, and proposal-free backends
+        (``not requires_proposals``) skip the RPN + ROE stages entirely.
+        """
+        if self.tracker.requires_proposals:
+            proposals = self.region_proposer.propose(ebbi.filtered)
+            proposals = [
+                p for p in proposals if p.box.area >= self.config.min_proposal_area
+            ]
+            proposals = self.roe.filter_proposals(proposals)
+        else:
+            proposals = []
+        tracks = self.tracker.step(
+            TrackerFrame(
+                proposals=proposals,
+                events=events,
+                t_start_us=ebbi.t_start_us,
+                t_end_us=ebbi.t_end_us,
+            )
+        )
         self._total_events += ebbi.num_events
         self._frames_processed += 1
         return FrameResult(
@@ -223,7 +276,14 @@ class EbbiotPipeline:
                 index.splits[chunk_start : chunk_stop + 1],
             )
             for offset, ebbi in enumerate(batch):
-                frame_result = self._process_built_frame(ebbi, chunk_start + offset)
+                window_events = None
+                if self.tracker.requires_events:
+                    lo = index.splits[chunk_start + offset]
+                    hi = index.splits[chunk_start + offset + 1]
+                    window_events = index.events[lo:hi]
+                frame_result = self._process_built_frame(
+                    ebbi, chunk_start + offset, window_events
+                )
                 result.add_frame(frame_result, keep=collect_frames)
         result.mean_active_pixel_fraction = self.ebbi_builder.mean_active_pixel_fraction
         result.mean_events_per_frame = self.mean_events_per_frame
@@ -242,10 +302,8 @@ class EbbiotPipeline:
     # -- state and statistics ---------------------------------------------------------------
 
     def reset(self) -> None:
-        """Reset all stage state (tracker slots, statistics)."""
-        self.ebbi_builder = EbbiBuilder(
-            self.config.width, self.config.height, self.config.median_patch_size
-        )
+        """Reset all stage state (tracker backend, statistics)."""
+        self.ebbi_builder = self._make_ebbi_builder()
         self.tracker.reset()
         self._total_events = 0
         self._frames_processed = 0
@@ -264,7 +322,11 @@ class EbbiotPipeline:
         )
 
     def restore(self, state: PipelineState) -> None:
-        """Reinstate a state captured by :meth:`snapshot`."""
+        """Reinstate a state captured by :meth:`snapshot`.
+
+        The backend rejects a snapshot taken under a different tracker, so
+        a checkpoint can never silently resume on the wrong algorithm.
+        """
         self.tracker.restore(state.tracker)
         self.ebbi_builder.restore_stats(state.ebbi_stats)
         self._total_events = state.total_events

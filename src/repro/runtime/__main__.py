@@ -14,6 +14,12 @@ Longer recordings, explicit worker count, JSON to a file::
 
     PYTHONPATH=src python -m repro.runtime --scenes 8 --duration 10 \\
         --workers 4 --json fleet.json
+
+Run the same fleet on a baseline tracker, or A/B two backends across the
+fleet's sites (comma-separated names are cycled per scene)::
+
+    PYTHONPATH=src python -m repro.runtime --scenes 4 --tracker kalman
+    PYTHONPATH=src python -m repro.runtime --scenes 8 --tracker overlap,ebms
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from typing import List, Optional
 
 from repro.runtime.runner import EXECUTORS, RunnerConfig, StreamRunner
 from repro.runtime.scenes import build_scene_jobs
+from repro.trackers.registry import available_backends, parse_backend_list
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="base seed for the fleet's traffic draws"
     )
     parser.add_argument(
+        "--tracker",
+        default="overlap",
+        metavar="NAME[,NAME...]",
+        help=(
+            "tracker backend(s) for the fleet; one of "
+            f"{', '.join(available_backends())}, or a comma-separated list "
+            "cycled across the scenes (default overlap)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         "--output",
         dest="json",
@@ -87,6 +104,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: --duration must be positive", file=sys.stderr)
         return 2
     try:
+        trackers = parse_backend_list(args.tracker)
         runner_config = RunnerConfig(
             executor=args.executor,
             max_workers=args.workers,
@@ -101,9 +119,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"of {args.duration:.1f} s each ...",
         flush=True,
     )
-    jobs = build_scene_jobs(args.scenes, duration_s=args.duration, base_seed=args.seed)
+    jobs = build_scene_jobs(
+        args.scenes,
+        duration_s=args.duration,
+        base_seed=args.seed,
+        trackers=trackers,
+    )
     total_events = sum(len(job.stream) for job in jobs)
-    print(f"rendered {total_events} events; processing on '{args.executor}' executor ...")
+    print(
+        f"rendered {total_events} events; processing on '{args.executor}' executor "
+        f"with tracker(s) {', '.join(trackers)} ..."
+    )
 
     batch = StreamRunner(runner_config).run(jobs)
 

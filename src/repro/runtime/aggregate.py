@@ -73,6 +73,10 @@ class RecordingResult:
     mot:
         CLEAR-MOT summary against ground truth, when the job carried
         annotations.
+    tracker:
+        Registry name of the tracker backend that produced the recording
+        (``"overlap"``, ``"kalman"``, ``"ebms"``, ...); the fleet summary
+        groups by it.
     """
 
     name: str
@@ -87,6 +91,7 @@ class RecordingResult:
     num_track_observations: int
     num_proposals: int
     mot: Optional[MotSummary] = None
+    tracker: str = "overlap"
 
     @property
     def events_per_second(self) -> float:
@@ -106,6 +111,7 @@ class RecordingResult:
         """JSON-serialisable representation."""
         return {
             "name": self.name,
+            "tracker": self.tracker,
             "num_events": self.num_events,
             "num_frames": self.num_frames,
             "duration_s": self.duration_s,
@@ -203,6 +209,29 @@ class BatchResult:
             [r.mot for r in self.recordings if r.mot is not None]
         )
 
+    # -- per-backend aggregation --------------------------------------------------------
+
+    @property
+    def trackers(self) -> List[str]:
+        """Distinct tracker backends present, sorted."""
+        return sorted({r.tracker for r in self.recordings})
+
+    def by_tracker(self) -> Dict[str, "BatchResult"]:
+        """The fleet result split per tracker backend.
+
+        Each sub-result carries the whole batch's wall-clock time (the
+        backends ran interleaved on the same executor, so per-backend wall
+        time is not separable); the per-backend fleet *quality* statistics
+        (pooled MOT, ``alpha``/``n``/``NT``) are exact.
+        """
+        groups: Dict[str, List[RecordingResult]] = {}
+        for recording in self.recordings:
+            groups.setdefault(recording.tracker, []).append(recording)
+        return {
+            tracker: BatchResult(recordings=recordings, wall_time_s=self.wall_time_s)
+            for tracker, recordings in sorted(groups.items())
+        }
+
     # -- reporting ----------------------------------------------------------------------
 
     def fleet_summary(self) -> Dict[str, object]:
@@ -210,6 +239,7 @@ class BatchResult:
         mot = self.mot
         return {
             "num_recordings": len(self.recordings),
+            "trackers": self.trackers,
             "total_events": self.total_events,
             "total_frames": self.total_frames,
             "total_duration_s": self.total_duration_s,
@@ -223,23 +253,37 @@ class BatchResult:
         }
 
     def to_dict(self) -> dict:
-        """JSON-serialisable representation (per-recording + fleet)."""
+        """JSON-serialisable representation (per-recording + fleet + backends).
+
+        ``by_tracker`` holds one fleet summary per backend so a mixed-backend
+        fleet (or a shoot-out run) can be diffed without re-grouping.  The
+        wall-clock-derived fields are nulled there: backends run interleaved
+        on one executor, so per-backend wall time is not separable and a
+        whole-batch number would read as (wrong) per-backend throughput.
+        """
+        by_tracker = {}
+        for tracker, sub in self.by_tracker().items():
+            summary = sub.fleet_summary()
+            summary["wall_time_s"] = None
+            summary["events_per_second"] = None
+            by_tracker[tracker] = summary
         return {
             "recordings": [r.to_dict() for r in self.recordings],
             "fleet": self.fleet_summary(),
+            "by_tracker": by_tracker,
         }
 
     def format_table(self) -> str:
         """Human-readable per-recording table plus fleet summary lines."""
         header = (
-            f"{'recording':<12} {'events':>10} {'frames':>7} {'ev/s':>10} "
-            f"{'alpha':>8} {'n':>8} {'NT':>5} {'tracks':>7} {'MOTA':>7}"
+            f"{'recording':<12} {'tracker':<8} {'events':>10} {'frames':>7} "
+            f"{'ev/s':>10} {'alpha':>8} {'n':>8} {'NT':>5} {'tracks':>7} {'MOTA':>7}"
         )
         lines = [header, "-" * len(header)]
         for r in self.recordings:
             mota = f"{r.mot.mota:7.3f}" if r.mot is not None else "      -"
             lines.append(
-                f"{r.name:<12} {r.num_events:>10} {r.num_frames:>7} "
+                f"{r.name:<12} {r.tracker:<8} {r.num_events:>10} {r.num_frames:>7} "
                 f"{r.events_per_second:>10.0f} {r.mean_active_pixel_fraction:>8.4f} "
                 f"{r.mean_events_per_frame:>8.1f} {r.mean_active_trackers:>5.2f} "
                 f"{r.num_tracks:>7} {mota}"
@@ -262,4 +306,12 @@ class BatchResult:
                 f"(misses={mot.num_misses}, false positives={mot.num_false_positives}, "
                 f"id switches={mot.num_id_switches})"
             )
+        if len(self.trackers) > 1:
+            for tracker, sub in self.by_tracker().items():
+                sub_mot = sub.mot
+                mota = f"MOTA={sub_mot.mota:.3f} MOTP={sub_mot.motp:.3f}" if sub_mot else "no GT"
+                lines.append(
+                    f"  {tracker:<8} {len(sub)} recording(s), "
+                    f"NT={sub.mean_active_trackers:.2f}, {mota}"
+                )
         return "\n".join(lines)

@@ -150,6 +150,7 @@ def run_recording(job: RecordingJob, config: RunnerConfig) -> RecordingResult:
         num_track_observations=result.total_track_observations(),
         num_proposals=result.total_proposals(),
         mot=mot,
+        tracker=pipeline.backend_name,
     )
 
 

@@ -13,7 +13,7 @@ for the live serving layer).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.core.config import EbbiotConfig
 from repro.datasets.annotations import RecordingAnnotations
@@ -237,17 +237,27 @@ def build_scene_recordings(
 def jobs_from_recordings(
     recordings: Sequence[SyntheticRecording],
     pipeline_config: Optional[EbbiotConfig] = None,
+    trackers: Optional[Union[str, Sequence[str]]] = None,
 ) -> List[RecordingJob]:
     """Wrap rendered recordings as runner jobs.
 
     Each job carries the recording's ground truth and a pipeline config
     whose region of exclusion covers the recording's static distractors
     (what a site operator would draw over the foliage).
+
+    ``trackers`` selects the tracker backend per recording: one registry
+    name applies to the whole fleet, a sequence of names is cycled across
+    the recordings (a mixed-backend fleet — the shoot-out and A/B configs),
+    and ``None`` keeps whatever ``pipeline_config`` carries.
     """
     base = pipeline_config or EbbiotConfig()
+    if isinstance(trackers, str):
+        trackers = [trackers]
     jobs = []
-    for recording in recordings:
+    for index, recording in enumerate(recordings):
         config = replace(base, roe_boxes=recording.roe_boxes())
+        if trackers:
+            config = replace(config, tracker=trackers[index % len(trackers)])
         jobs.append(
             RecordingJob(
                 name=recording.name,
@@ -264,7 +274,8 @@ def build_scene_jobs(
     duration_s: float = 6.0,
     base_seed: int = 0,
     pipeline_config: Optional[EbbiotConfig] = None,
+    trackers: Optional[Union[str, Sequence[str]]] = None,
 ) -> List[RecordingJob]:
     """Render a synthetic fleet and wrap it as runner jobs in one call."""
     recordings = build_scene_recordings(num_scenes, duration_s, base_seed)
-    return jobs_from_recordings(recordings, pipeline_config)
+    return jobs_from_recordings(recordings, pipeline_config, trackers=trackers)

@@ -28,10 +28,12 @@ import sys
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional
 
+from repro.core.config import EbbiotConfig
 from repro.runtime.scenes import build_scene_recordings
 from repro.serving.client import stream_recording
 from repro.serving.hub import BACKPRESSURE_POLICIES, HubConfig
 from repro.serving.server import TrackingServer
+from repro.trackers.registry import available_backends, parse_backend_list
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,6 +96,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="out-of-order arrival tolerance in microseconds",
     )
     parser.add_argument(
+        "--tracker",
+        default="overlap",
+        metavar="NAME[,NAME...]",
+        help=(
+            "tracker backend(s); one of "
+            f"{', '.join(available_backends())}.  The first name is the "
+            "server default; in demo mode a comma-separated list is cycled "
+            "across the synthetic sensors via the hello handshake"
+        ),
+    )
+    parser.add_argument(
         "--json",
         "--output",
         dest="json",
@@ -110,12 +123,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _trackers(args: argparse.Namespace) -> List[str]:
+    """The validated backend list from ``--tracker`` (first = server default)."""
+    return parse_backend_list(args.tracker)
+
+
 def _hub_config(args: argparse.Namespace) -> HubConfig:
     return HubConfig(
         num_workers=args.workers,
         queue_capacity=args.queue_capacity,
         backpressure=args.backpressure,
         reorder_slack_us=args.slack_us,
+        pipeline_config=EbbiotConfig(tracker=_trackers(args)[0]),
     )
 
 
@@ -128,9 +147,13 @@ def run_demo(args: argparse.Namespace) -> int:
     recordings = build_scene_recordings(
         args.sensors, duration_s=args.duration, base_seed=args.seed
     )
+    trackers = _trackers(args)
     with TrackingServer(args.host, args.port, _hub_config(args)) as server:
         host, port = server.address
-        print(f"tracking server listening on {host}:{port}")
+        print(
+            f"tracking server listening on {host}:{port} "
+            f"(tracker(s): {', '.join(trackers)})"
+        )
         with ThreadPoolExecutor(max_workers=args.sensors) as pool:
             futures = [
                 pool.submit(
@@ -141,8 +164,9 @@ def run_demo(args: argparse.Namespace) -> int:
                     recording.stream,
                     batch_duration_us=args.batch_us,
                     realtime=args.realtime,
+                    tracker=trackers[index % len(trackers)],
                 )
-                for recording in recordings
+                for index, recording in enumerate(recordings)
             ]
             outcomes = [future.result() for future in futures]
         telemetry = server.hub.telemetry.to_dict()

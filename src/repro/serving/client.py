@@ -43,6 +43,9 @@ class SensorClient:
         Identifier announced in the handshake; must be unique per server.
     width, height:
         Sensor resolution announced in the handshake.
+    tracker:
+        Optional tracker backend requested in the handshake (registry name,
+        e.g. ``"kalman"``); ``None`` accepts the server's default.
     timeout_s:
         Socket and reply-wait timeout.
     """
@@ -54,6 +57,7 @@ class SensorClient:
         sensor_id: str,
         width: int = 240,
         height: int = 180,
+        tracker: Optional[str] = None,
         timeout_s: float = 30.0,
     ) -> None:
         self.sensor_id = sensor_id
@@ -66,7 +70,7 @@ class SensorClient:
         self._reader = threading.Thread(
             target=self._read_loop, name=f"sensor-client-{sensor_id}", daemon=True
         )
-        self._send(hello_message(sensor_id, width, height))
+        self._send(hello_message(sensor_id, width, height, tracker=tracker))
         self._reader.start()
         self.welcome = self._await_reply("welcome")
 
@@ -144,6 +148,7 @@ def stream_recording(
     stream: EventStream,
     batch_duration_us: int = 16_500,
     realtime: bool = False,
+    tracker: Optional[str] = None,
 ) -> Tuple[List[dict], dict]:
     """Replay one recording to the server as timestamped batches.
 
@@ -161,6 +166,9 @@ def stream_recording(
         When ``True`` sleeps between batches so the replay advances at
         sensor speed (demos); ``False`` sends as fast as possible (tests,
         benchmarks).
+    tracker:
+        Optional tracker backend requested for this sensor (see
+        :class:`SensorClient`).
 
     Returns
     -------
@@ -170,7 +178,12 @@ def stream_recording(
     if batch_duration_us <= 0:
         raise ValueError(f"batch_duration_us must be positive, got {batch_duration_us}")
     with SensorClient(
-        host, port, sensor_id, width=stream.width, height=stream.height
+        host,
+        port,
+        sensor_id,
+        width=stream.width,
+        height=stream.height,
+        tracker=tracker,
     ) as client:
         events = stream.events
         if len(events):

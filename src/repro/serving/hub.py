@@ -187,7 +187,7 @@ class TrackingHub:
                 raise ValueError(f"sensor {sensor_id!r} is already registered")
             self._sessions[sensor_id] = session
             self._callbacks[sensor_id] = on_frames
-        self.telemetry.sensor(sensor_id)
+        self.telemetry.sensor(sensor_id).set_tracker(session.backend_name)
         return session
 
     def remove_sensor(self, sensor_id: str) -> None:

@@ -8,7 +8,8 @@ which skips the transport entirely).
 
 Client → server::
 
-    {"type": "hello", "sensor_id": "ENG-00", "width": 240, "height": 180}
+    {"type": "hello", "sensor_id": "ENG-00", "width": 240, "height": 180,
+     "tracker": "kalman"}          # tracker is optional (server default)
     {"type": "events", "x": [...], "y": [...], "t": [...], "p": [...]}
     {"type": "stats"}
     {"type": "finish"}
@@ -68,15 +69,28 @@ def decode_message(line) -> dict:
 # -- client-side constructors ----------------------------------------------------------
 
 
-def hello_message(sensor_id: str, width: int = 240, height: int = 180) -> dict:
-    """The connection-opening handshake."""
-    return {
+def hello_message(
+    sensor_id: str,
+    width: int = 240,
+    height: int = 180,
+    tracker: Optional[str] = None,
+) -> dict:
+    """The connection-opening handshake.
+
+    ``tracker`` optionally requests a tracker backend by registry name
+    (``"overlap"``, ``"kalman"``, ``"ebms"``); omitted, the sensor runs the
+    server's configured default.
+    """
+    message = {
         "type": "hello",
         "sensor_id": sensor_id,
         "width": width,
         "height": height,
         "version": PROTOCOL_VERSION,
     }
+    if tracker is not None:
+        message["tracker"] = tracker
+    return message
 
 
 def events_message(events: np.ndarray) -> dict:
@@ -106,9 +120,13 @@ def packet_from_events_message(message: dict) -> np.ndarray:
 
 
 def welcome_message(
-    frame_duration_us: int, reorder_slack_us: int, width: int, height: int
+    frame_duration_us: int,
+    reorder_slack_us: int,
+    width: int,
+    height: int,
+    tracker: str = "overlap",
 ) -> dict:
-    """The server's reply to ``hello``."""
+    """The server's reply to ``hello`` (``tracker`` is the backend in force)."""
     return {
         "type": "welcome",
         "version": PROTOCOL_VERSION,
@@ -116,6 +134,7 @@ def welcome_message(
         "reorder_slack_us": reorder_slack_us,
         "width": width,
         "height": height,
+        "tracker": tracker,
     }
 
 

@@ -29,6 +29,7 @@ from typing import List, Optional, Tuple
 from repro.core.pipeline import FrameResult
 from repro.events.types import validate_packet
 from repro.serving.hub import HubConfig, TrackingHub
+from repro.trackers.registry import ensure_backend_name
 from repro.serving.protocol import (
     ProtocolError,
     decode_message,
@@ -133,13 +134,24 @@ class _SensorConnectionHandler(socketserver.StreamRequestHandler):
         self.height = int(message.get("height", 180))
         if self.width <= 0 or self.height <= 0:
             raise ProtocolError("hello width/height must be positive")
-        # The declared resolution configures the sensor's pipeline, so a
-        # non-DAVIS240 sensor gets correctly sized EBBI frames.
+        # The declared resolution and tracker configure the sensor's
+        # pipeline, so a non-DAVIS240 sensor gets correctly sized EBBI
+        # frames and a sensor may request a baseline backend.
         pipeline_config = hub.config.pipeline_config
         if (self.width, self.height) != (pipeline_config.width, pipeline_config.height):
             pipeline_config = replace(
                 pipeline_config, width=self.width, height=self.height
             )
+        tracker = message.get("tracker")
+        if tracker is not None:
+            if not isinstance(tracker, str):
+                raise ProtocolError("hello tracker must be a string backend name")
+            try:
+                ensure_backend_name(tracker)
+            except ValueError as error:
+                raise ProtocolError(str(error)) from error
+            if tracker != pipeline_config.tracker:
+                pipeline_config = replace(pipeline_config, tracker=tracker)
         try:
             hub.register(sensor_id, config=pipeline_config, on_frames=self._on_frames)
         except ValueError as error:
@@ -152,6 +164,7 @@ class _SensorConnectionHandler(socketserver.StreamRequestHandler):
                 reorder_slack_us=hub.config.reorder_slack_us,
                 width=self.width,
                 height=self.height,
+                tracker=pipeline_config.tracker,
             )
         )
         return True

@@ -130,6 +130,11 @@ class SensorSession:
         return self.result.frames_processed
 
     @property
+    def backend_name(self) -> str:
+        """Registry name of the session's tracker backend."""
+        return self.pipeline.backend_name
+
+    @property
     def events_ingested(self) -> int:
         """Events accepted by the framer (excludes late drops)."""
         return self.framer.events_accepted
@@ -190,4 +195,5 @@ class SensorSession:
             num_tracks=len(self._track_ids),
             num_track_observations=self._num_observations,
             num_proposals=self.result.total_proposals(),
+            tracker=self.backend_name,
         )

@@ -77,6 +77,7 @@ class SensorTelemetry:
     def __init__(self, sensor_id: str) -> None:
         self.sensor_id = sensor_id
         self._lock = threading.Lock()
+        self.tracker: Optional[str] = None
         self.events_received = 0
         self.batches_received = 0
         self.frames_emitted = 0
@@ -120,11 +121,17 @@ class SensorTelemetry:
         with self._lock:
             self.queue_depth = depth
 
+    def set_tracker(self, tracker: str) -> None:
+        """Tag the sensor with its tracker backend (set at registration)."""
+        with self._lock:
+            self.tracker = tracker
+
     def to_dict(self) -> dict:
         """JSON-serialisable snapshot."""
         with self._lock:
             return {
                 "sensor_id": self.sensor_id,
+                "tracker": self.tracker,
                 "events_received": self.events_received,
                 "batches_received": self.batches_received,
                 "frames_emitted": self.frames_emitted,
@@ -177,4 +184,11 @@ class TelemetryRegistry:
             "dropped_batches": sum(s["dropped_batches"] for s in sensors.values()),
             "dropped_events": sum(s["dropped_events"] for s in sensors.values()),
         }
+        sensors_by_tracker: Dict[str, int] = {}
+        for record in sensors.values():
+            if record["tracker"] is not None:
+                sensors_by_tracker[record["tracker"]] = (
+                    sensors_by_tracker.get(record["tracker"], 0) + 1
+                )
+        totals["sensors_by_tracker"] = sensors_by_tracker
         return {"sensors": sensors, "totals": totals}

@@ -54,3 +54,13 @@ class TestEbbiotConfig:
             EbbiotConfig(min_track_age_frames=-1)
         with pytest.raises(ValueError):
             EbbiotConfig(max_missed_frames=-1)
+
+    def test_tracker_backend_field(self):
+        # The default is the paper's overlap tracker; the registry names
+        # are accepted and anything else is rejected at construction.
+        assert EbbiotConfig().tracker == "overlap"
+        assert EbbiotConfig.paper_defaults().tracker == "overlap"
+        for name in ("overlap", "kalman", "ebms"):
+            assert EbbiotConfig(tracker=name).tracker == name
+        with pytest.raises(ValueError, match="unknown tracker backend"):
+            EbbiotConfig(tracker="centroid")

@@ -452,3 +452,99 @@ class TestSceneDiversity:
         quiet = build_scene_recordings(1, duration_s=1.0, site_specs=[quiet_rain])
         loud = build_scene_recordings(1, duration_s=1.0, site_specs=[RAIN_LIKE_SPEC])
         assert quiet[0].stream.mean_event_rate < loud[0].stream.mean_event_rate / 2
+
+
+class TestTrackerBackendsInRuntime:
+    def test_run_recording_records_backend_name(self):
+        job = _jobs(1)[0]
+        job.config = EbbiotConfig(tracker="kalman")
+        result = run_recording(job, RunnerConfig(executor="serial"))
+        assert result.tracker == "kalman"
+        assert result.to_dict()["tracker"] == "kalman"
+
+    def test_jobs_from_recordings_cycles_trackers(self):
+        recordings = build_scene_recordings(3, duration_s=1.0)
+        from repro.runtime.scenes import jobs_from_recordings
+
+        jobs = jobs_from_recordings(recordings, trackers=("overlap", "ebms"))
+        assert [job.config.tracker for job in jobs] == ["overlap", "ebms", "overlap"]
+        # A single string applies fleet-wide.
+        jobs = jobs_from_recordings(recordings, trackers="kalman")
+        assert all(job.config.tracker == "kalman" for job in jobs)
+        # ROE boxes still come from each recording.
+        assert jobs[0].config.roe_boxes
+
+    def test_batch_result_groups_by_tracker(self):
+        def recording(name, tracker, frames, trackers_mean):
+            return RecordingResult(
+                name=name,
+                num_events=100,
+                num_frames=frames,
+                duration_s=1.0,
+                wall_time_s=0.5,
+                mean_active_pixel_fraction=0.1,
+                mean_events_per_frame=10.0,
+                mean_active_trackers=trackers_mean,
+                num_tracks=1,
+                num_track_observations=5,
+                num_proposals=5,
+                tracker=tracker,
+            )
+
+        batch = BatchResult(
+            recordings=[
+                recording("a", "overlap", 10, 2.0),
+                recording("b", "kalman", 10, 4.0),
+                recording("c", "overlap", 30, 2.0),
+            ],
+            wall_time_s=1.0,
+        )
+        assert batch.trackers == ["kalman", "overlap"]
+        groups = batch.by_tracker()
+        assert set(groups) == {"overlap", "kalman"}
+        assert len(groups["overlap"]) == 2
+        assert groups["kalman"].mean_active_trackers == pytest.approx(4.0)
+        assert groups["overlap"].mean_active_trackers == pytest.approx(2.0)
+        payload = batch.to_dict()
+        assert set(payload["by_tracker"]) == {"overlap", "kalman"}
+        assert payload["fleet"]["trackers"] == ["kalman", "overlap"]
+        # The per-recording table carries the backend column.
+        assert "kalman" in batch.format_table()
+
+    def test_mixed_backend_fleet_runs_end_to_end(self):
+        jobs = build_scene_jobs(3, duration_s=1.0, trackers=("overlap", "kalman", "ebms"))
+        batch = StreamRunner(RunnerConfig(executor="serial")).run(jobs)
+        assert [r.tracker for r in batch.recordings] == ["overlap", "kalman", "ebms"]
+        groups = batch.by_tracker()
+        assert set(groups) == {"overlap", "kalman", "ebms"}
+        for sub in groups.values():
+            assert sub.mot is not None
+
+    def test_cli_tracker_flag(self, tmp_path, capsys):
+        from repro.runtime.__main__ import main
+
+        json_path = tmp_path / "fleet.json"
+        exit_code = main(
+            [
+                "--scenes",
+                "2",
+                "--duration",
+                "1",
+                "--executor",
+                "serial",
+                "--tracker",
+                "kalman",
+                "--output",
+                str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["fleet"]["trackers"] == ["kalman"]
+        assert all(r["tracker"] == "kalman" for r in payload["recordings"])
+
+    def test_cli_rejects_unknown_tracker(self, capsys):
+        from repro.runtime.__main__ import main
+
+        assert main(["--scenes", "1", "--tracker", "made-up"]) == 2
+        assert "unknown tracker backend" in capsys.readouterr().err

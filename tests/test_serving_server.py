@@ -231,3 +231,72 @@ class TestNonDefaultResolution:
             else:
                 raise AssertionError("sensor id was never freed after disconnect")
             assert summary["num_frames"] > 0
+
+
+class TestBackendSelection:
+    def test_hello_tracker_selects_backend(self):
+        """A sensor requesting "kalman" gets the EBBI+KF pipeline end to end."""
+        stream = _moving_block_stream(seed=11)
+        expected = EbbiotPipeline(EbbiotConfig(tracker="kalman")).process_stream(stream)
+        with TrackingServer() as server:
+            host, port = server.address
+            with SensorClient(host, port, "cam", tracker="kalman") as client:
+                assert client.welcome["tracker"] == "kalman"
+                client.send_events(stream.events)
+                summary = client.finish()
+            telemetry = server.hub.telemetry.to_dict()
+        assert summary["tracker"] == "kalman"
+        assert summary["num_frames"] == expected.num_frames
+        assert summary["num_track_observations"] == expected.total_track_observations()
+        assert telemetry["sensors"]["cam"]["tracker"] == "kalman"
+        assert telemetry["totals"]["sensors_by_tracker"] == {"kalman": 1}
+
+    def test_hello_without_tracker_uses_server_default(self):
+        stream = _moving_block_stream(seed=12)
+        hub_config = HubConfig(pipeline_config=EbbiotConfig(tracker="ebms"))
+        with TrackingServer(hub_config=hub_config) as server:
+            host, port = server.address
+            with SensorClient(host, port, "cam") as client:
+                assert client.welcome["tracker"] == "ebms"
+                client.send_events(stream.events)
+                summary = client.finish()
+        assert summary["tracker"] == "ebms"
+
+    def test_hello_unknown_tracker_rejected(self):
+        with TrackingServer() as server:
+            host, port = server.address
+            with pytest.raises((ProtocolError, ConnectionError, TimeoutError)):
+                SensorClient(host, port, "cam", tracker="made-up")
+
+    def test_mixed_backend_demo_cli(self, tmp_path, capsys):
+        from repro.serving.__main__ import main
+
+        json_path = tmp_path / "fleet.json"
+        telemetry_path = tmp_path / "telemetry.json"
+        exit_code = main(
+            [
+                "--sensors",
+                "2",
+                "--duration",
+                "1",
+                "--tracker",
+                "overlap,kalman",
+                # --output is the runtime-CLI-parity alias for --json.
+                "--output",
+                str(json_path),
+                "--telemetry-json",
+                str(telemetry_path),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        assert sorted(payload["fleet"]["trackers"]) == ["kalman", "overlap"]
+        assert set(payload["by_tracker"]) == {"kalman", "overlap"}
+        telemetry = json.loads(telemetry_path.read_text())
+        assert telemetry["totals"]["sensors_by_tracker"] == {"overlap": 1, "kalman": 1}
+
+    def test_cli_rejects_unknown_tracker(self, capsys):
+        from repro.serving.__main__ import main
+
+        assert main(["--tracker", "made-up"]) == 2
+        assert "unknown tracker backend" in capsys.readouterr().err

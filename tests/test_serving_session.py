@@ -198,3 +198,76 @@ class TestBoundedHistory:
         assert bounded_summary.num_track_observations == ref.num_track_observations
         assert bounded_summary.num_tracks == ref.num_tracks
         assert ref.num_track_observations == len(full.result.track_history)
+
+
+class TestNonDefaultBackends:
+    """ISSUE satellite: a SensorSession on a baseline backend behaves like
+    the batch pipeline, including snapshot/restore."""
+
+    @pytest.mark.parametrize("backend", ["kalman", "ebms"])
+    def test_live_session_matches_process_stream(self, backend):
+        stream = _moving_block_stream(seed=21)
+        config = EbbiotConfig(tracker=backend)
+        batch = EbbiotPipeline(config).process_stream(stream)
+
+        session = SensorSession("s", config=config, reorder_slack_us=2_000)
+        assert session.backend_name == backend
+        for events in _batches(stream, 11_000):
+            session.ingest(events)
+        session.finish()
+        summary = session.summary()
+
+        assert summary.tracker == backend
+        assert summary.num_frames == batch.num_frames
+        assert summary.mean_active_trackers == pytest.approx(
+            batch.mean_active_trackers
+        )
+        _assert_observations_equal(
+            session.result.track_history.observations,
+            batch.track_history.observations,
+        )
+
+    @pytest.mark.parametrize("backend", ["kalman", "ebms"])
+    def test_snapshot_restore_round_trip(self, backend):
+        """Satellite: snapshot/restore round-trips on the baseline backends."""
+        stream = _moving_block_stream(seed=22)
+        batches = list(_batches(stream, 66_000))
+        half = len(batches) // 2
+        config = EbbiotConfig(tracker=backend)
+
+        reference = SensorSession("s", config=config, reorder_slack_us=0)
+        forked = SensorSession("s", config=config, reorder_slack_us=0)
+        for events in batches[:half]:
+            reference.ingest(events)
+            forked.ingest(events)
+
+        checkpoint = forked.snapshot()
+        assert checkpoint.pipeline.tracker.backend == backend
+        forked.pipeline.tracker.reset()
+        forked.restore(checkpoint)
+
+        for events in batches[half:]:
+            reference.ingest(events)
+            forked.ingest(events)
+        reference.finish()
+        forked.finish()
+
+        cutoff = checkpoint.frames_processed * 66_000
+        ref_tail = [
+            o
+            for o in reference.result.track_history.observations
+            if o.t_us > cutoff
+        ]
+        fork_tail = [
+            o
+            for o in forked.result.track_history.observations
+            if o.t_us > cutoff
+        ]
+        _assert_observations_equal(fork_tail, ref_tail)
+
+    def test_restore_rejects_other_backend_snapshot(self):
+        overlap = SensorSession("s")
+        checkpoint = overlap.snapshot()
+        kalman = SensorSession("s", config=EbbiotConfig(tracker="kalman"))
+        with pytest.raises(ValueError, match="cannot restore"):
+            kalman.restore(checkpoint)
