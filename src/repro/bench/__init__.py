@@ -1,0 +1,38 @@
+"""Event-path micro-benchmark harness (``python -m repro.bench``).
+
+Runs named timed scenarios — the NN-filt and refractory filters, the
+NN-filt+EBMS and EBBIOT end-to-end pipelines, and the live serving
+sessions — against the standard synthetic fleet, reports throughput and
+speedup-vs-scalar for each, and compares the numbers against a committed
+baseline (``BENCH_event_path.json`` at the repo root), flagging
+regressions beyond a tolerance.  See :mod:`repro.bench.harness` for the
+report/consistency machinery and :mod:`repro.bench.scenarios` for the
+individual workloads.
+"""
+
+from repro.bench.harness import (
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    BenchProfile,
+    Comparison,
+    build_report,
+    calibrate,
+    compare_reports,
+    dump_report,
+    load_report,
+)
+from repro.bench.scenarios import SCENARIOS, parse_scenario_list
+
+__all__ = [
+    "BenchProfile",
+    "Comparison",
+    "FULL_PROFILE",
+    "QUICK_PROFILE",
+    "SCENARIOS",
+    "build_report",
+    "calibrate",
+    "compare_reports",
+    "dump_report",
+    "load_report",
+    "parse_scenario_list",
+]

@@ -1,0 +1,168 @@
+"""CLI for the event-path benchmark harness.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.bench                      # full run, write baseline artifact
+    PYTHONPATH=src python -m repro.bench --quick              # CI smoke sizes
+    PYTHONPATH=src python -m repro.bench --scenarios nn_filter,ebms_pipeline
+    PYTHONPATH=src python -m repro.bench --quick --check \\
+        --baseline BENCH_event_path.json --tolerance 0.30     # regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.bench.harness import (
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    build_report,
+    calibrate,
+    compare_reports,
+    dump_report,
+    load_report,
+)
+from repro.bench.scenarios import SCENARIOS, parse_scenario_list
+
+
+def format_scenarios(report: dict) -> str:
+    """Human-readable per-scenario summary table."""
+    header = f"{'scenario':<18} {'primary':>14} {'value':>12} {'speedup':>9}"
+    lines = [header, "-" * len(header)]
+    for name, metrics in report["scenarios"].items():
+        primary = metrics.get("primary", "")
+        value = metrics.get(primary, 0.0)
+        speedup = metrics.get("speedup_vs_scalar")
+        speedup_text = f"{speedup:8.1f}x" if speedup is not None else f"{'—':>9}"
+        lines.append(f"{name:<18} {primary:>14} {value:>12.1f} {speedup_text}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke sizes (3 scenes x 1.5 s) instead of the full fleet",
+    )
+    parser.add_argument(
+        "--scenarios",
+        default=",".join(SCENARIOS),
+        metavar="NAME[,NAME...]",
+        help="scenarios to run (default: all)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="where to write the JSON report ('-' for stdout only; default: "
+        "BENCH_event_path.json, or BENCH_event_path_quick.json with --quick, "
+        "so each profile round-trips against its own committed baseline)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline report to compare against (default: the --output path, "
+        "read before it is overwritten)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when any compared metric regresses beyond the tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop vs the baseline (default 0.30)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, fn in SCENARIOS.items():
+            print(f"{name:<18} {fn.__doc__.splitlines()[0]}")
+        return 0
+
+    try:
+        names = parse_scenario_list(args.scenarios)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    profile = QUICK_PROFILE if args.quick else FULL_PROFILE
+    if args.output is None:
+        args.output = (
+            "BENCH_event_path_quick.json" if args.quick else "BENCH_event_path.json"
+        )
+    baseline_path = args.baseline or (args.output if args.output != "-" else None)
+    baseline = load_report(baseline_path) if baseline_path else None
+
+    print(
+        f"profile {profile.name}: {profile.scenes} scene(s) x {profile.duration_s:.1f} s, "
+        f"{len(names)} scenario(s)",
+        flush=True,
+    )
+    calibration = calibrate()
+    print(f"calibration score: {calibration['score']:.2f}", flush=True)
+
+    results = {}
+    for name in names:
+        print(f"  running {name} ...", flush=True)
+        results[name] = SCENARIOS[name](profile)
+    report = build_report(profile, results, calibration)
+
+    print()
+    print(format_scenarios(report))
+
+    exit_code = 0
+    if baseline is not None:
+        if baseline.get("profile") != report["profile"]:
+            print(
+                f"note: comparing a {report['profile']!r} run against a "
+                f"{baseline.get('profile')!r} baseline — short runs carry "
+                "extra warm-up overhead, so prefer a matching-profile "
+                "baseline for tight tolerances"
+            )
+        comparisons = compare_reports(report, baseline, tolerance=args.tolerance)
+        if comparisons:
+            print()
+            print(f"baseline: {baseline_path} (tolerance {args.tolerance:.0%})")
+            for comparison in comparisons:
+                print(f"  {comparison.describe()}")
+            if args.check and any(c.regressed for c in comparisons):
+                exit_code = 1
+        elif args.check:
+            # A gate that has nothing to compare is not a passing gate:
+            # a renamed baseline or scenario would otherwise silently
+            # disable the regression check while CI stays green.
+            print(
+                f"error: --check found nothing comparable in baseline "
+                f"{baseline_path}",
+                file=sys.stderr,
+            )
+            exit_code = 2
+    elif args.check:
+        print(
+            f"error: --check requested but no baseline found at {baseline_path}",
+            file=sys.stderr,
+        )
+        exit_code = 2
+
+    if args.output == "-":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        dump_report(report, args.output)
+        print(f"\nwrote JSON report to {args.output}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

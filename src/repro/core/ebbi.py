@@ -16,8 +16,47 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.median_filter import binary_median_filter, binary_median_filter_stack
+from repro.core.median_filter import (
+    MedianScratch,
+    binary_median_filter,
+    binary_median_filter_stack,
+)
 from repro.events.types import EVENT_DTYPE
+
+
+class EbbiScratch:
+    """Reusable raw/filtered frame stacks for steady-state EBBI building.
+
+    ``process_stream`` and the live serving sessions build one frame stack
+    per chunk (or per window) forever; with a scratch the stacks — and the
+    median filter's work arrays — are allocated once and recycled, removing
+    every per-frame allocation from the hot path.  Frames handed out by the
+    builder are then *views* into these buffers, valid until the next
+    build; ``EbbiFrames.detached()`` copies one out when it must outlive
+    the chunk (and callers that retain frames, like ``keep_frames``
+    pipelines, already detach).
+    """
+
+    def __init__(self) -> None:
+        self._raw: Optional[np.ndarray] = None
+        self._filtered: Optional[np.ndarray] = None
+        self.median = MedianScratch()
+
+    def stacks(
+        self, num_frames: int, height: int, width: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw + filtered uint8 stacks with at least ``num_frames`` slots."""
+        if (
+            self._raw is None
+            or self._raw.shape[0] < num_frames
+            or self._raw.shape[1:] != (height, width)
+        ):
+            capacity = num_frames
+            if self._raw is not None and self._raw.shape[1:] == (height, width):
+                capacity = max(num_frames, 2 * self._raw.shape[0])
+            self._raw = np.zeros((capacity, height, width), dtype=np.uint8)
+            self._filtered = np.zeros((capacity, height, width), dtype=np.uint8)
+        return self._raw[:num_frames], self._filtered[:num_frames]
 
 
 def events_to_binary_frame(
@@ -52,7 +91,11 @@ def events_to_binary_frame(
 
 
 def events_to_binary_frame_batch(
-    events: np.ndarray, splits: np.ndarray, width: int, height: int
+    events: np.ndarray,
+    splits: np.ndarray,
+    width: int,
+    height: int,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Accumulate consecutive event slices into a stack of binary frames.
 
@@ -71,12 +114,15 @@ def events_to_binary_frame_batch(
         ``events``.
     width, height:
         Sensor resolution ``A x B``.
+    out:
+        Optional ``(num_frames, height, width)`` uint8 stack to fill in
+        place (zeroed first) and return — the buffer-reuse path.
 
     Returns
     -------
     numpy.ndarray
         ``(num_frames, height, width)`` uint8 stack with 1 where at least
-        one event occurred in that window.
+        one event occurred in that window (``out`` if it was given).
     """
     if events.dtype != EVENT_DTYPE:
         raise TypeError(f"events must have dtype {EVENT_DTYPE}, got {events.dtype}")
@@ -84,7 +130,16 @@ def events_to_binary_frame_batch(
     if splits.ndim != 1 or len(splits) < 1:
         raise ValueError("splits must be a 1-D array with at least one entry")
     num_frames = len(splits) - 1
-    frames = np.zeros((num_frames, height, width), dtype=np.uint8)
+    if out is None:
+        frames = np.zeros((num_frames, height, width), dtype=np.uint8)
+    else:
+        if out.shape != (num_frames, height, width) or out.dtype != np.uint8:
+            raise ValueError(
+                f"out must be a uint8 array of shape {(num_frames, height, width)}, "
+                f"got {out.dtype} {out.shape}"
+            )
+        frames = out
+        frames[:] = 0
     window_events = events[splits[0] : splits[-1]]
     if len(window_events) == 0:
         return frames
@@ -151,9 +206,23 @@ class EbbiBuilder:
     median_patch_size:
         Median-filter patch size ``p`` (the paper uses 3); ``0`` or ``1``
         disables filtering (the filtered frame is then the raw frame).
+    reuse_buffers:
+        Build frames into a persistent :class:`EbbiScratch` instead of
+        fresh arrays.  Returned frames are then views valid only until the
+        next ``build``/``build_batch`` call — callers that retain a frame
+        must take ``EbbiFrames.detached()`` first.  The pipeline (which
+        consumes each frame before building the next and detaches anything
+        it keeps) turns this on; the default stays allocate-per-call for
+        API compatibility.
     """
 
-    def __init__(self, width: int, height: int, median_patch_size: int = 3) -> None:
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        median_patch_size: int = 3,
+        reuse_buffers: bool = False,
+    ) -> None:
         if width <= 0 or height <= 0:
             raise ValueError(f"frame size must be positive, got {width}x{height}")
         if median_patch_size not in (0, 1) and median_patch_size % 2 == 0:
@@ -163,18 +232,48 @@ class EbbiBuilder:
         self.width = width
         self.height = height
         self.median_patch_size = median_patch_size
+        self.reuse_buffers = reuse_buffers
+        self._scratch = EbbiScratch() if reuse_buffers else None
         self._frames_built = 0
         self._total_active_fraction = 0.0
 
     def build(
         self, events: np.ndarray, t_start_us: int, t_end_us: int
     ) -> EbbiFrames:
-        """Accumulate one window of events into raw and filtered EBBI frames."""
-        raw = events_to_binary_frame(events, self.width, self.height)
-        if self.median_patch_size in (0, 1):
-            filtered = raw.copy()
+        """Accumulate one window of events into raw and filtered EBBI frames.
+
+        With ``reuse_buffers`` the window is built as a one-frame batch into
+        the persistent stacks, so a live session's per-window processing
+        allocates nothing; the returned frames are views into the scratch
+        (their ``base`` is set, so ``detached()`` knows to copy).
+        """
+        if self._scratch is not None:
+            raw_stack, filtered_stack = self._scratch.stacks(
+                1, self.height, self.width
+            )
+            raw = events_to_binary_frame_batch(
+                events,
+                np.array([0, len(events)], dtype=np.int64),
+                self.width,
+                self.height,
+                out=raw_stack,
+            )[0]
+            if self.median_patch_size in (0, 1):
+                np.greater(raw_stack, 0, out=filtered_stack)
+            else:
+                binary_median_filter_stack(
+                    raw_stack,
+                    self.median_patch_size,
+                    out=filtered_stack,
+                    scratch=self._scratch.median,
+                )
+            filtered = filtered_stack[0]
         else:
-            filtered = binary_median_filter(raw, self.median_patch_size)
+            raw = events_to_binary_frame(events, self.width, self.height)
+            if self.median_patch_size in (0, 1):
+                filtered = raw.copy()
+            else:
+                filtered = binary_median_filter(raw, self.median_patch_size)
         self._frames_built += 1
         self._total_active_fraction += raw.sum() / raw.size
         return EbbiFrames(
@@ -215,11 +314,29 @@ class EbbiBuilder:
                 f"inconsistent batch shapes: {len(starts)} starts, "
                 f"{len(ends)} ends, {len(splits)} splits"
             )
-        raw_stack = events_to_binary_frame_batch(events, splits, self.width, self.height)
-        if self.median_patch_size in (0, 1):
-            filtered_stack = raw_stack.copy()
+        if self._scratch is not None:
+            raw_out, filtered_out = self._scratch.stacks(
+                len(starts), self.height, self.width
+            )
+            median_scratch = self._scratch.median
         else:
-            filtered_stack = binary_median_filter_stack(raw_stack, self.median_patch_size)
+            raw_out = filtered_out = median_scratch = None
+        raw_stack = events_to_binary_frame_batch(
+            events, splits, self.width, self.height, out=raw_out
+        )
+        if self.median_patch_size in (0, 1):
+            if filtered_out is None:
+                filtered_stack = raw_stack.copy()
+            else:
+                np.greater(raw_stack, 0, out=filtered_out)
+                filtered_stack = filtered_out
+        else:
+            filtered_stack = binary_median_filter_stack(
+                raw_stack,
+                self.median_patch_size,
+                out=filtered_out,
+                scratch=median_scratch,
+            )
         counts = np.diff(np.asarray(splits, dtype=np.int64))
         num_frames = len(starts)
         self._frames_built += num_frames

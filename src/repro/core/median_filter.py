@@ -6,11 +6,63 @@ patch: the output pixel is 1 when more than ``floor(p^2 / 2)`` of the patch
 pixels are 1 (Section II-A).  The implementation below computes patch sums
 with a separable box filter (via cumulative sums), so it is fast enough for
 the laptop-scale benchmarks while remaining an exact majority filter.
+
+On the steady-state pipeline path every intermediate — the zero-padded
+copy, the integral image, the box sums and the output stack — can live in
+a reusable :class:`MedianScratch`, so filtering a chunk of frames performs
+no allocations at all after warm-up.
 """
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
+
+
+class MedianScratch:
+    """Reusable work buffers for :func:`binary_median_filter_stack`.
+
+    The stack filter needs a zero-padded copy of the input, an integral
+    image one row/column larger, and an int32 box-sum array; on a
+    steady-state pipeline those are the only per-chunk allocations left, so
+    callers that filter chunk after chunk (``EbbiBuilder`` with buffer
+    reuse) pass one scratch and the buffers are grown once and recycled.
+    Buffers are grown on demand and never shrink.
+    """
+
+    def __init__(self) -> None:
+        self._padded: Optional[np.ndarray] = None
+        self._integral: Optional[np.ndarray] = None
+        self._sums: Optional[np.ndarray] = None
+
+    def buffers(
+        self, num_frames: int, frame_shape: Tuple[int, int], half: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Padded, integral and box-sum buffers for one filter pass."""
+        height, width = frame_shape
+        padded_shape = (height + 2 * half, width + 2 * half)
+        if (
+            self._padded is None
+            or self._padded.shape[0] < num_frames
+            or self._padded.shape[1:] != padded_shape
+        ):
+            capacity = num_frames
+            if (
+                self._padded is not None
+                and self._padded.shape[1:] == padded_shape
+            ):
+                capacity = max(num_frames, 2 * self._padded.shape[0])
+            self._padded = np.zeros((capacity,) + padded_shape, dtype=np.uint8)
+            self._integral = np.zeros(
+                (capacity, padded_shape[0] + 1, padded_shape[1] + 1), dtype=np.int32
+            )
+            self._sums = np.zeros((capacity, height, width), dtype=np.int32)
+        return (
+            self._padded[:num_frames],
+            self._integral[:num_frames],
+            self._sums[:num_frames],
+        )
 
 
 def binary_median_filter(frame: np.ndarray, patch_size: int = 3) -> np.ndarray:
@@ -35,36 +87,65 @@ def binary_median_filter(frame: np.ndarray, patch_size: int = 3) -> np.ndarray:
     return binary_median_filter_stack(frame[np.newaxis], patch_size)[0]
 
 
-def _box_sum_stack(frames: np.ndarray, patch_size: int) -> np.ndarray:
+def _box_sum_stack(
+    frames: np.ndarray, patch_size: int, scratch: Optional[MedianScratch] = None
+) -> np.ndarray:
     """Per-frame patch sums for a ``(n, height, width)`` stack of frames.
 
-    Zero-padded integral images with the cumulative sums and the 4-corner
-    gather broadcast over the leading (frame) axis, so a whole chunk of EBBI
-    frames is filtered in one pass and the cost is independent of the patch
-    size.
+    Zero-padded integral images with the cumulative sums and a 4-corner
+    *slice* combination broadcast over the leading (frame) axis, so a whole
+    chunk of EBBI frames is filtered in one pass and the cost is
+    independent of the patch size.  With a :class:`MedianScratch` every
+    work array is reused and the cumsums/subtractions run in place.
     """
     half = patch_size // 2
-    padded = np.pad(
-        frames, ((0, 0), (half, half), (half, half)), mode="constant", constant_values=0
-    )
-    # int32 is ample: integral values are bounded by the padded frame area.
-    integral = np.zeros(
-        (frames.shape[0], padded.shape[1] + 1, padded.shape[2] + 1), dtype=np.int32
-    )
-    integral[:, 1:, 1:] = padded.cumsum(axis=1, dtype=np.int32).cumsum(axis=2)
-    height, width = frames.shape[1:]
-    top = np.arange(height)
-    left = np.arange(width)
-    sums = (
-        integral[:, top[:, None] + patch_size, left[None, :] + patch_size]
-        - integral[:, top[:, None], left[None, :] + patch_size]
-        - integral[:, top[:, None] + patch_size, left[None, :]]
-        + integral[:, top[:, None], left[None, :]]
-    )
-    return sums
+    num_frames, height, width = frames.shape
+    if scratch is None:
+        padded = np.pad(
+            frames > 0,
+            ((0, 0), (half, half), (half, half)),
+            mode="constant",
+            constant_values=False,
+        )
+        # int32 is ample: integral values are bounded by the padded frame area.
+        integral = np.zeros(
+            (num_frames, padded.shape[1] + 1, padded.shape[2] + 1), dtype=np.int32
+        )
+        sums_out = None
+    else:
+        padded, integral, sums_out = scratch.buffers(
+            num_frames, (height, width), half
+        )
+        padded[:] = 0
+        np.greater(frames, 0, out=padded[:, half : half + height, half : half + width])
+        integral[:, 0, :] = 0
+        integral[:, :, 0] = 0
+    body = integral[:, 1:, 1:]
+    np.cumsum(padded, axis=1, dtype=np.int32, out=body)
+    np.cumsum(body, axis=2, out=body)
+    # The four patch corners are contiguous ranges, so they are views —
+    # no fancy-indexing gathers.
+    bottom_right = integral[:, patch_size : patch_size + height, patch_size : patch_size + width]
+    top_right = integral[:, 0:height, patch_size : patch_size + width]
+    bottom_left = integral[:, patch_size : patch_size + height, 0:width]
+    top_left = integral[:, 0:height, 0:width]
+    if sums_out is None:
+        sums = bottom_right - top_right
+        np.subtract(sums, bottom_left, out=sums)
+        np.add(sums, top_left, out=sums)
+        return sums
+    np.subtract(bottom_right, top_right, out=sums_out)
+    np.subtract(sums_out, bottom_left, out=sums_out)
+    np.add(sums_out, top_left, out=sums_out)
+    return sums_out
 
 
-def binary_median_filter_stack(frames: np.ndarray, patch_size: int = 3) -> np.ndarray:
+def binary_median_filter_stack(
+    frames: np.ndarray,
+    patch_size: int = 3,
+    out: Optional[np.ndarray] = None,
+    scratch: Optional[MedianScratch] = None,
+) -> np.ndarray:
     """Majority-vote median filter applied to a stack of binary frames.
 
     Vectorised equivalent of calling :func:`binary_median_filter` on each
@@ -77,24 +158,39 @@ def binary_median_filter_stack(frames: np.ndarray, patch_size: int = 3) -> np.nd
         ``(n, height, width)`` array of 0/1 values.
     patch_size:
         Odd patch size ``p``; the paper uses 3.
+    out:
+        Optional uint8 output stack of the same shape; written in place and
+        returned (the steady-state pipeline passes a reusable buffer).
+    scratch:
+        Optional :class:`MedianScratch` holding the reusable work arrays.
 
     Returns
     -------
     numpy.ndarray
-        uint8 stack, filtered frame by frame.
+        uint8 stack, filtered frame by frame (``out`` if it was given).
     """
     if frames.ndim != 3:
         raise ValueError(f"frames must be 3-D (n, height, width), got shape {frames.shape}")
     if patch_size < 1 or patch_size % 2 == 0:
         raise ValueError(f"patch_size must be a positive odd integer, got {patch_size}")
+    if out is not None and (out.shape != frames.shape or out.dtype != np.uint8):
+        raise ValueError(
+            f"out must be a uint8 array of shape {frames.shape}, "
+            f"got {out.dtype} {out.shape}"
+        )
     if patch_size == 1:
-        return (frames > 0).astype(np.uint8)
+        if out is None:
+            return (frames > 0).astype(np.uint8)
+        np.greater(frames, 0, out=out)
+        return out
     if frames.shape[0] == 0:
-        return frames.astype(np.uint8)
-    binary = (frames > 0).astype(np.uint8)
-    sums = _box_sum_stack(binary, patch_size)
+        return frames.astype(np.uint8) if out is None else out
+    sums = _box_sum_stack(frames, patch_size, scratch)
     majority = patch_size * patch_size // 2
-    return (sums > majority).astype(np.uint8)
+    if out is None:
+        return (sums > majority).astype(np.uint8)
+    np.greater(sums, majority, out=out)
+    return out
 
 
 def count_salt_and_pepper(frame: np.ndarray, patch_size: int = 3) -> int:

@@ -168,11 +168,19 @@ class EbbiotPipeline:
         such as EBMS — the paper's event-driven pipeline has no EBBI stage
         at all), the median filter is disabled; raw accumulation alone
         provides the ``alpha``/``n`` statistics.
+
+        The builder reuses its frame stacks across windows/chunks (no
+        per-frame allocations on the steady-state path): every frame the
+        pipeline hands out lives only for the duration of its RPN + tracker
+        step, and frames retained beyond that (``keep_frames``) are
+        detached copies.
         """
         patch_size = (
             self.config.median_patch_size if self.tracker.requires_proposals else 0
         )
-        return EbbiBuilder(self.config.width, self.config.height, patch_size)
+        return EbbiBuilder(
+            self.config.width, self.config.height, patch_size, reuse_buffers=True
+        )
 
     @property
     def backend_name(self) -> str:

@@ -13,6 +13,15 @@ Sessions are single-threaded by design: the hub shards sensors across
 workers and each session only ever runs on its shard's worker, so no locks
 are needed here.  :meth:`snapshot` / :meth:`restore` checkpoint the tracker
 and statistics between batches (state migration, fault recovery).
+
+Steady-state sessions do not allocate per frame: the pipeline's
+:class:`~repro.core.ebbi.EbbiBuilder` runs with buffer reuse, so each
+closed window is accumulated and median-filtered into persistent scratch
+stacks (see :class:`~repro.core.ebbi.EbbiScratch`).  The frames a session
+hands to the RPN + tracker step are views into those buffers, consumed
+before the next window is built; anything retained (``collect_frames`` with
+``keep_frames`` pipelines) is a detached copy.  A long-lived sensor session
+therefore runs at constant memory *and* constant allocation traffic.
 """
 
 from __future__ import annotations

@@ -1,5 +1,6 @@
-"""Shared utilities: geometry primitives and validation helpers."""
+"""Shared utilities: geometry primitives, validation, hot-path selection."""
 
+from repro.utils.fastpath import SCALAR_ENV, force_scalar, scalar_forced
 from repro.utils.geometry import (
     BoundingBox,
     boxes_intersection_area,
@@ -15,6 +16,9 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "SCALAR_ENV",
+    "force_scalar",
+    "scalar_forced",
     "BoundingBox",
     "boxes_intersection_area",
     "boxes_iou",

@@ -191,8 +191,20 @@ def boxes_intersection_area(a: BoundingBox, b: BoundingBox) -> float:
 
 
 def boxes_union_area(a: BoundingBox, b: BoundingBox) -> float:
-    """Area of the union of two boxes."""
-    return a.area + b.area - boxes_intersection_area(a, b)
+    """Area of the union of two boxes.
+
+    The per-box areas are computed from the same ``x2 - x`` edge
+    differences the intersection uses (not ``width * height``): ``x + width``
+    can round away from ``x`` by an ulp when the magnitudes differ, and
+    mixing the two arithmetic forms lets rounding break the IoU invariants
+    (a box's IoU with itself must be exactly 1, and IoU can never exceed 1
+    — edge-consistent areas give both because the intersection of a box
+    with itself *is* its edge area, and monotone rounding keeps any
+    intersection at or below either edge area).
+    """
+    area_a = (a.x2 - a.x) * (a.y2 - a.y)
+    area_b = (b.x2 - b.x) * (b.y2 - b.y)
+    return area_a + area_b - boxes_intersection_area(a, b)
 
 
 def boxes_iou(a: BoundingBox, b: BoundingBox) -> float:

@@ -1,0 +1,358 @@
+"""Adversarial scalar-vs-vectorized parity tests for the event hot paths.
+
+The vectorized NN-filt / refractory / EBMS implementations must be
+*bit-identical* to their scalar references: same keep-masks, same per-pixel
+timestamp memories, same cluster state (centres, spreads, counts,
+histories, merges), same track observations.  These tests drive both paths
+over the adversarial packet shapes the chunked fast paths are most likely
+to get wrong: same-pixel bursts, timestamps exactly at the support /
+refractory boundaries, empty and single-event packets, and packets split at
+arbitrary boundaries (the vectorized state must be packet-split invariant
+because the scalar reference is).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EbbiotConfig
+from repro.core.pipeline import EbbiotPipeline
+from repro.events.filters import (
+    NearestNeighbourFilter,
+    RefractoryFilter,
+    distinct_pixel_spans,
+    previous_occurrence,
+)
+from repro.events.types import empty_packet, make_packet
+from repro.trackers.ebms import EbmsConfig, EbmsTracker
+from repro.utils.fastpath import SCALAR_ENV, force_scalar, scalar_forced
+
+
+def random_packet(num_events, seed, width=240, height=180, burst_fraction=0.2,
+                  time_step=4):
+    """Noise + same-pixel bursts + exact timestamp ties."""
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, width, num_events)
+    y = rng.integers(0, height, num_events)
+    burst = rng.random(num_events) < burst_fraction
+    x[burst] = rng.integers(60, 63, burst.sum())
+    y[burst] = rng.integers(60, 63, burst.sum())
+    # Coarse time grid so exact ties are common.
+    t = np.sort(rng.integers(0, num_events, num_events)) * time_step
+    return make_packet(x, y, t, np.ones(num_events, dtype=int))
+
+
+def blob_packet(num_events, seed, width=240, height=180, num_blobs=4):
+    """Moving dense blobs over uniform noise — the EBMS-relevant shape."""
+    rng = np.random.default_rng(seed)
+    t = np.sort(rng.integers(0, 2_000_000, num_events))
+    x = rng.integers(0, width, num_events).astype(float)
+    y = rng.integers(0, height, num_events).astype(float)
+    for _ in range(num_blobs):
+        mask = rng.random(num_events) < 0.2
+        cx, cy = rng.uniform(20, width - 20), rng.uniform(20, height - 20)
+        vx, vy = rng.uniform(-30, 30), rng.uniform(-10, 10)
+        x[mask] = np.clip(cx + vx * t[mask] * 1e-6 + rng.normal(0, 6, mask.sum()), 0, width - 1)
+        y[mask] = np.clip(cy + vy * t[mask] * 1e-6 + rng.normal(0, 6, mask.sum()), 0, height - 1)
+    return make_packet(x.astype(int), y.astype(int), t, np.ones(num_events, dtype=int))
+
+
+def ebms_state(tracker):
+    """Full observable state of an EBMS tracker, bitwise comparable."""
+    clusters = tuple(
+        (
+            cid,
+            c.cx,
+            c.cy,
+            c.last_update_us,
+            c.event_count,
+            c.visible,
+            c.spread_x,
+            c.spread_y,
+            tuple(c.position_history),
+        )
+        for cid, c in tracker._clusters.items()
+    )
+    return (
+        clusters,
+        tracker._next_cluster_id,
+        tracker.events_processed,
+        tracker.merges_performed,
+    )
+
+
+class TestSpanPartition:
+    def test_previous_occurrence(self):
+        pix = np.array([5, 7, 5, 5, 9, 7])
+        assert previous_occurrence(pix).tolist() == [-1, -1, 0, 2, -1, 1]
+
+    def test_spans_have_no_repeats_and_cover(self):
+        rng = np.random.default_rng(0)
+        pix = rng.integers(0, 50, 2000)
+        spans = list(distinct_pixel_spans(pix, max_chunk=128))
+        assert spans[0][0] == 0
+        assert spans[-1][1] == len(pix)
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(spans, spans[1:]):
+            assert a_hi == b_lo
+        for lo, hi in spans:
+            assert hi - lo <= 128
+            chunk = pix[lo:hi]
+            assert len(np.unique(chunk)) == len(chunk)
+
+    def test_all_same_pixel_degenerates_to_singletons(self):
+        pix = np.zeros(10, dtype=np.int64)
+        assert list(distinct_pixel_spans(pix)) == [(i, i + 1) for i in range(10)]
+
+
+class TestNnFilterParity:
+    @pytest.mark.parametrize("burst_fraction", [0.0, 0.2, 0.9, 1.0])
+    def test_random_packets(self, burst_fraction):
+        packet = random_packet(3000, seed=7, burst_fraction=burst_fraction)
+        fast = NearestNeighbourFilter(240, 180)
+        reference = NearestNeighbourFilter(240, 180, vectorized=False)
+        assert (fast.process(packet) == reference.process(packet)).all()
+        assert (fast.state_snapshot() == reference.state_snapshot()).all()
+
+    def test_long_span_packet_uses_span_path(self):
+        # Packet span far exceeds the support time, so intra-packet
+        # predecessors can be stale: exercises the distinct-pixel-span path.
+        packet = random_packet(3000, seed=3, time_step=200)
+        assert int(packet["t"][-1] - packet["t"][0]) > 66_000
+        fast = NearestNeighbourFilter(240, 180)
+        reference = NearestNeighbourFilter(240, 180, vectorized=False)
+        assert (fast.process(packet) == reference.process(packet)).all()
+        assert (fast.state_snapshot() == reference.state_snapshot()).all()
+
+    def test_support_time_boundary_exact(self):
+        # A neighbour exactly support_time_us old still supports (>=);
+        # one microsecond older does not.
+        for age, expected in [(66_000, True), (66_001, False)]:
+            fast = NearestNeighbourFilter(240, 180, support_time_us=66_000)
+            reference = NearestNeighbourFilter(
+                240, 180, support_time_us=66_000, vectorized=False
+            )
+            packet = make_packet([100, 101], [90, 90], [0, age], [1, 1])
+            keep_fast = fast.process(packet)
+            keep_reference = reference.process(packet)
+            assert (keep_fast == keep_reference).all()
+            assert bool(keep_fast[1]) is expected
+
+    def test_empty_and_single_event_packets(self):
+        fast = NearestNeighbourFilter(240, 180)
+        reference = NearestNeighbourFilter(240, 180, vectorized=False)
+        assert len(fast.process(empty_packet())) == 0
+        assert len(reference.process(empty_packet())) == 0
+        single = make_packet([10], [10], [5], [1])
+        assert (fast.process(single) == reference.process(single)).all()
+        assert (fast.state_snapshot() == reference.state_snapshot()).all()
+
+    def test_packet_split_invariance(self):
+        # Cutting the stream into arbitrary packets (as the pipeline's
+        # chunking does) must not change any keep decision.
+        packet = random_packet(4000, seed=11, burst_fraction=0.3)
+        reference = NearestNeighbourFilter(240, 180, vectorized=False)
+        keep_reference = reference.process(packet)
+        fast = NearestNeighbourFilter(240, 180)
+        splits = [0, 1, 17, 1000, 1001, 2500, 4000]
+        keep_fast = np.concatenate(
+            [fast.process(packet[lo:hi]) for lo, hi in zip(splits, splits[1:])]
+        )
+        assert (keep_fast == keep_reference).all()
+        assert (fast.state_snapshot() == reference.state_snapshot()).all()
+
+    def test_border_pixels(self):
+        # Corner/edge pixels exercise the bounds masking in the gathers.
+        xs = [0, 1, 0, 239, 238, 239, 0]
+        ys = [0, 0, 1, 179, 179, 178, 179]
+        packet = make_packet(xs, ys, list(range(0, 700, 100)), [1] * 7)
+        fast = NearestNeighbourFilter(240, 180)
+        reference = NearestNeighbourFilter(240, 180, vectorized=False)
+        assert (fast.process(packet) == reference.process(packet)).all()
+
+    def test_env_var_forces_scalar(self, monkeypatch):
+        monkeypatch.setenv(SCALAR_ENV, "1")
+        assert scalar_forced()
+        with force_scalar(False):
+            assert not scalar_forced()
+        assert scalar_forced()
+
+
+class TestRefractoryParity:
+    @pytest.mark.parametrize("burst_fraction", [0.0, 0.5, 1.0])
+    def test_random_packets(self, burst_fraction):
+        packet = random_packet(3000, seed=5, burst_fraction=burst_fraction)
+        fast = RefractoryFilter(240, 180, refractory_us=2000)
+        reference = RefractoryFilter(240, 180, refractory_us=2000, vectorized=False)
+        assert (fast.process(packet) == reference.process(packet)).all()
+        assert (fast.state_snapshot() == reference.state_snapshot()).all()
+
+    def test_refractory_boundary_exact(self):
+        # Exactly refractory_us apart is kept (>=); one microsecond less is
+        # suppressed.
+        for gap, expected in [(1000, True), (999, False)]:
+            fast = RefractoryFilter(240, 180, refractory_us=1000)
+            reference = RefractoryFilter(240, 180, refractory_us=1000, vectorized=False)
+            packet = make_packet([5] * 20, [5] * 20, list(range(0, 20 * gap, gap)), [1] * 20)
+            keep_fast = fast.process(packet)
+            assert (keep_fast == reference.process(packet)).all()
+            assert bool(keep_fast[1]) is expected
+
+    def test_packet_split_invariance(self):
+        packet = random_packet(2000, seed=13, burst_fraction=0.4)
+        reference = RefractoryFilter(240, 180, refractory_us=3000, vectorized=False)
+        keep_reference = reference.process(packet)
+        fast = RefractoryFilter(240, 180, refractory_us=3000)
+        splits = [0, 3, 500, 501, 2000]
+        keep_fast = np.concatenate(
+            [fast.process(packet[lo:hi]) for lo, hi in zip(splits, splits[1:])]
+        )
+        assert (keep_fast == keep_reference).all()
+        assert (fast.state_snapshot() == reference.state_snapshot()).all()
+
+    def test_empty_and_single(self):
+        fast = RefractoryFilter(240, 180)
+        assert len(fast.process(empty_packet())) == 0
+        single = make_packet([3], [4], [100], [1])
+        assert fast.process(single)[0]
+
+
+class TestEbmsParity:
+    CONFIGS = [
+        EbmsConfig(),
+        EbmsConfig(max_clusters=2),
+        # merge_distance > radius: a fresh seed can immediately pair.
+        EbmsConfig(cluster_radius_px=10, merge_distance_px=30),
+        EbmsConfig(decay_time_us=50_000),
+        EbmsConfig(
+            merge_distance_px=40.0, cluster_radius_px=25.0, support_threshold_events=5
+        ),
+    ]
+
+    @pytest.mark.parametrize("config_index", range(len(CONFIGS)))
+    def test_cluster_state_bit_identical(self, config_index):
+        config = self.CONFIGS[config_index]
+        packet = blob_packet(15_000, seed=config_index)
+        fast = EbmsTracker(config)
+        reference = EbmsTracker(config, vectorized=False)
+        # Arbitrary packet boundaries, including empty and single-event.
+        splits = [0, 0, 1, 137, 5000, 5001, 15_000]
+        for lo, hi in zip(splits, splits[1:]):
+            fast.process_events(packet[lo:hi])
+            reference.process_events_scalar(packet[lo:hi])
+        assert ebms_state(fast) == ebms_state(reference)
+
+    def test_observations_bit_identical(self):
+        packet = blob_packet(12_000, seed=42)
+        fast = EbmsTracker(EbmsConfig(support_threshold_events=20))
+        reference = EbmsTracker(
+            EbmsConfig(support_threshold_events=20), vectorized=False
+        )
+        window = 66_000
+        for frame in range(30):
+            lo = np.searchsorted(packet["t"], frame * window)
+            hi = np.searchsorted(packet["t"], (frame + 1) * window)
+            t_mid = frame * window + window // 2
+            obs_fast = fast.process_frame(packet[lo:hi], t_mid)
+            obs_reference = reference.process_frame(packet[lo:hi], t_mid)
+            assert [
+                (o.track_id, o.t_us, o.box, o.velocity) for o in obs_fast
+            ] == [(o.track_id, o.t_us, o.box, o.velocity) for o in obs_reference]
+
+    def test_empty_packet_is_noop(self):
+        fast = EbmsTracker()
+        fast.process_events(empty_packet())
+        assert fast.events_processed == 0
+        assert fast.num_clusters == 0
+
+    def test_snapshot_restore_crosses_paths(self):
+        # State captured mid-stream on the fast path resumes identically on
+        # either path.
+        packet = blob_packet(10_000, seed=3)
+        fast = EbmsTracker()
+        fast.process_events(packet[:5000])
+        checkpoint = fast.snapshot()
+        resumed_fast = EbmsTracker()
+        resumed_fast.restore(checkpoint)
+        resumed_reference = EbmsTracker(vectorized=False)
+        resumed_reference.restore(checkpoint)
+        resumed_fast.process_events(packet[5000:])
+        resumed_reference.process_events_scalar(packet[5000:])
+        assert ebms_state(resumed_fast) == ebms_state(resumed_reference)
+
+
+class TestEndToEndParity:
+    def test_ebms_pipeline_digit_identical(self):
+        """Whole-pipeline parity: REPRO_FORCE_SCALAR=1 vs the fast path."""
+        from repro.datasets import build_recording, LT4_LIKE_SPEC
+
+        recording = build_recording(LT4_LIKE_SPEC, duration_override_s=2.0)
+        with force_scalar(False):
+            fast = EbbiotPipeline(EbbiotConfig(tracker="ebms")).process_stream(
+                recording.stream, collect_frames=False
+            )
+        with force_scalar(True):
+            reference = EbbiotPipeline(EbbiotConfig(tracker="ebms")).process_stream(
+                recording.stream, collect_frames=False
+            )
+        fast_obs = [
+            (o.track_id, o.t_us, o.box, o.velocity)
+            for o in fast.track_history.observations
+        ]
+        reference_obs = [
+            (o.track_id, o.t_us, o.box, o.velocity)
+            for o in reference.track_history.observations
+        ]
+        assert fast_obs == reference_obs
+        assert fast.mean_active_trackers == reference.mean_active_trackers
+        assert fast.mean_events_per_frame == reference.mean_events_per_frame
+
+    def test_overlap_pipeline_unaffected_by_scalar_flag(self):
+        """The overlap path has no scalar/vectorized split; the flag must
+        not change its output (guards accidental coupling)."""
+        from repro.datasets import build_recording, LT4_LIKE_SPEC
+
+        recording = build_recording(LT4_LIKE_SPEC, duration_override_s=1.0)
+        with force_scalar(False):
+            fast = EbbiotPipeline(EbbiotConfig()).process_stream(recording.stream)
+        with force_scalar(True):
+            reference = EbbiotPipeline(EbbiotConfig()).process_stream(recording.stream)
+        assert [
+            (o.track_id, o.t_us, o.box) for o in fast.track_history.observations
+        ] == [
+            (o.track_id, o.t_us, o.box) for o in reference.track_history.observations
+        ]
+
+
+class TestBufferReuse:
+    def test_detached_frames_survive_buffer_reuse(self):
+        from repro.core.ebbi import EbbiBuilder
+
+        builder = EbbiBuilder(32, 24, 3, reuse_buffers=True)
+        first = builder.build(make_packet([1], [1], [10], [1]), 0, 66_000)
+        kept = first.detached()
+        raw_before = kept.raw.copy()
+        builder.build(make_packet([5, 6], [7, 7], [70_000, 70_001], [1, 1]), 66_000, 132_000)
+        assert (kept.raw == raw_before).all()
+        # Views into the scratch know they need copying.
+        assert first.raw.base is not None
+
+    def test_reused_and_fresh_builders_agree(self):
+        from repro.core.ebbi import EbbiBuilder
+
+        packet = random_packet(500, seed=1)
+        splits = np.array([0, 100, 350, 500], dtype=np.int64)
+        starts = np.array([0, 66_000, 132_000])
+        ends = starts + 66_000
+        reused = EbbiBuilder(240, 180, 3, reuse_buffers=True)
+        fresh = EbbiBuilder(240, 180, 3)
+        frames_reused = reused.build_batch(packet, starts, ends, splits)
+        frames_fresh = fresh.build_batch(packet, starts, ends, splits)
+        for a, b in zip(frames_reused, frames_fresh):
+            assert (a.raw == b.raw).all()
+            assert (a.filtered == b.filtered).all()
+        # Second batch overwrites the same scratch and still agrees.
+        frames_reused_2 = reused.build_batch(packet, starts, ends, splits)
+        for a, b in zip(frames_reused_2, frames_fresh):
+            assert (a.raw == b.raw).all()
+            assert (a.filtered == b.filtered).all()

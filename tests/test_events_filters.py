@@ -121,6 +121,25 @@ class TestRefractoryFilter:
         with pytest.raises(ValueError):
             RefractoryFilter(240, 180, refractory_us=0)
 
+    def test_state_snapshot_round_trip(self):
+        # Same contract as the NN filter's snapshot: restoring the captured
+        # memory must continue exactly where the original left off.
+        refractory = RefractoryFilter(240, 180, refractory_us=10_000)
+        refractory.process(make_packet([5, 9], [5, 9], [0, 100], [1, 1]))
+        snapshot = refractory.state_snapshot()
+        # The snapshot is a copy: mutating the filter doesn't change it.
+        refractory.process(make_packet([5], [5], [20_000], [1]))
+        restored = RefractoryFilter(240, 180, refractory_us=10_000)
+        restored.restore_state(snapshot)
+        # Pixel (5, 5) last fired at t=0 in the snapshot: t=5000 suppressed.
+        assert not restored.process(make_packet([5], [5], [5000], [1]))[0]
+        assert restored.process(make_packet([5], [5], [10_000], [1]))[0]
+
+    def test_restore_state_rejects_wrong_shape(self):
+        refractory = RefractoryFilter(240, 180)
+        with pytest.raises(ValueError):
+            refractory.restore_state(np.zeros((10, 10), dtype=np.int64))
+
 
 class TestNoiseRateEstimate:
     def test_zero_for_empty(self):
