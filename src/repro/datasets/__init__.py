@@ -1,4 +1,15 @@
-"""Synthetic datasets reproducing the structure of Table I.
+"""Datasets: synthetic Table I recordings and manifest-backed on-disk corpora.
+
+Two halves:
+
+* :mod:`repro.datasets.synthetic` renders Table I-like recordings with the
+  traffic simulator;
+* :mod:`repro.datasets.recorded` reads/writes manifest-backed datasets of
+  recorded event files (any :data:`repro.events.io.EVENT_FORMATS` format)
+  and exports synthetic fleets to that layout, so every execution layer can
+  run from disk the way the paper's evaluation ran from DAVIS recordings.
+
+Synthetic datasets reproduce the structure of Table I.
 
 The paper's two recordings (ENG, 12 mm lens, ~3000 s, 107.5 M events and
 LT4, 6 mm lens, ~1000 s, 12.5 M events) are replaced by synthetic
@@ -10,6 +21,16 @@ statistics and the values extrapolated to the paper's durations.
 """
 
 from repro.datasets.annotations import RecordingAnnotations
+from repro.datasets.recorded import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    DatasetManifest,
+    LoadedRecording,
+    RecordingEntry,
+    discover_datasets,
+    export_fleet,
+    load_manifest,
+)
 from repro.datasets.synthetic import (
     DatasetSpec,
     ENG_LIKE_SPEC,
@@ -27,4 +48,12 @@ __all__ = [
     "SyntheticRecording",
     "build_recording",
     "build_table1_datasets",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "DatasetManifest",
+    "LoadedRecording",
+    "RecordingEntry",
+    "discover_datasets",
+    "export_fleet",
+    "load_manifest",
 ]

@@ -1,0 +1,158 @@
+"""Command-line entry point: ``python -m repro.datasets``.
+
+Three subcommands:
+
+* **export** — render a synthetic fleet and snapshot it as a
+  manifest-backed on-disk dataset (the recorded-workload corpus CI and the
+  replay CLIs consume).
+* **show** — print one dataset's recording table.
+* **list** — discover dataset directories under a root.
+
+Examples
+--------
+Export a four-scene fleet and replay it through the batch runtime::
+
+    PYTHONPATH=src python -m repro.datasets export --scenes 4 --out dataset/
+    PYTHONPATH=src python -m repro.runtime --dataset dataset/
+
+Inspect what is on disk::
+
+    PYTHONPATH=src python -m repro.datasets show dataset/
+    PYTHONPATH=src python -m repro.datasets list .
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.datasets.recorded import (
+    DatasetManifest,
+    discover_datasets,
+    export_fleet,
+)
+from repro.events.io import EVENT_FORMATS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (separate so tests can introspect it)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.datasets",
+        description="Export, inspect and discover manifest-backed event datasets.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    export = commands.add_parser(
+        "export", help="render a synthetic fleet and write it as a dataset"
+    )
+    export.add_argument(
+        "--out", required=True, metavar="DIR", help="destination dataset directory"
+    )
+    export.add_argument(
+        "--scenes", type=int, default=4, help="number of scenes to render (default 4)"
+    )
+    export.add_argument(
+        "--duration",
+        type=float,
+        default=4.0,
+        help="length of each recording in seconds (default 4)",
+    )
+    export.add_argument(
+        "--seed", type=int, default=0, help="base seed for the fleet's traffic draws"
+    )
+    export.add_argument(
+        "--format",
+        choices=sorted(EVENT_FORMATS),
+        default="npz",
+        help="event file format (default npz)",
+    )
+    export.add_argument(
+        "--name", default=None, help="dataset name (default: directory name)"
+    )
+
+    show = commands.add_parser("show", help="print one dataset's recording table")
+    show.add_argument("dataset", metavar="DIR", help="dataset directory (or manifest)")
+
+    discover = commands.add_parser(
+        "list", help="discover dataset directories under a root"
+    )
+    discover.add_argument("root", metavar="DIR", nargs="?", default=".")
+    return parser
+
+
+def run_export(args: argparse.Namespace) -> int:
+    if args.scenes <= 0:
+        print("error: --scenes must be positive", file=sys.stderr)
+        return 2
+    if args.duration <= 0:
+        print("error: --duration must be positive", file=sys.stderr)
+        return 2
+    # Imported here: only the export subcommand renders scenes, and
+    # runtime.scenes itself imports this package.
+    from repro.runtime.scenes import build_scene_recordings
+
+    print(
+        f"rendering {args.scenes} synthetic scene(s) of {args.duration:.1f} s each ...",
+        flush=True,
+    )
+    recordings = build_scene_recordings(
+        args.scenes, duration_s=args.duration, base_seed=args.seed
+    )
+    manifest = export_fleet(
+        recordings,
+        args.out,
+        format=args.format,
+        name=args.name,
+        dataset_metadata={
+            "exporter": "repro.datasets export",
+            "scenes": args.scenes,
+            "duration_s": args.duration,
+            "seed": args.seed,
+        },
+    )
+    print(manifest.format_table())
+    print(f"wrote {len(manifest)} recording(s) + manifest to {manifest.manifest_path}")
+    return 0
+
+
+def run_show(args: argparse.Namespace) -> int:
+    try:
+        manifest = DatasetManifest.load(args.dataset)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(manifest.format_table())
+    return 0
+
+
+def run_list(args: argparse.Namespace) -> int:
+    datasets = discover_datasets(args.root)
+    if not datasets:
+        print(f"no datasets found under {args.root}")
+        return 0
+    for directory in datasets:
+        try:
+            summary = DatasetManifest.load(directory).summary()
+            print(
+                f"{directory}  {summary['num_recordings']} recording(s), "
+                f"{summary['total_events']} events, tags: "
+                f"{','.join(summary['scene_tags']) or '-'}"
+            )
+        except ValueError as error:
+            print(f"{directory}  INVALID: {error}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Dispatch to the selected subcommand.  Returns the exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "export":
+        return run_export(args)
+    if args.command == "show":
+        return run_show(args)
+    return run_list(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,11 +9,20 @@ the event-driven baselines.
 
 from repro.events.filters import NearestNeighbourFilter, RefractoryFilter
 from repro.events.io import (
+    EVENT_FORMATS,
+    EventFormat,
+    iter_events_csv,
+    iter_events_npz,
+    load_events,
+    load_events_aedat2,
     load_events_csv,
     load_events_npz,
+    load_events_txt,
     load_recording,
+    save_events_aedat2,
     save_events_csv,
     save_events_npz,
+    save_events_txt,
     save_recording,
 )
 from repro.events.noise import BackgroundActivityNoise, HotPixelNoise
@@ -53,10 +62,19 @@ __all__ = [
     "HotPixelNoise",
     "NearestNeighbourFilter",
     "RefractoryFilter",
+    "EVENT_FORMATS",
+    "EventFormat",
+    "load_events",
     "save_events_npz",
     "load_events_npz",
     "save_events_csv",
     "load_events_csv",
+    "save_events_aedat2",
+    "load_events_aedat2",
+    "save_events_txt",
+    "load_events_txt",
+    "iter_events_npz",
+    "iter_events_csv",
     "save_recording",
     "load_recording",
 ]

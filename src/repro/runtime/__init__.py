@@ -31,6 +31,7 @@ from repro.runtime.scenes import (
     build_rain_recording,
     build_scene_jobs,
     build_scene_recordings,
+    jobs_from_manifest,
     jobs_from_recordings,
 )
 
@@ -45,6 +46,7 @@ __all__ = [
     "run_recording",
     "build_scene_jobs",
     "build_scene_recordings",
+    "jobs_from_manifest",
     "jobs_from_recordings",
     "build_crossing_recording",
     "build_rain_recording",

@@ -20,6 +20,11 @@ fleet's sites (comma-separated names are cycled per scene)::
 
     PYTHONPATH=src python -m repro.runtime --scenes 4 --tracker kalman
     PYTHONPATH=src python -m repro.runtime --scenes 8 --tracker overlap,ebms
+
+Replay a recorded, manifest-backed dataset from disk instead of rendering
+(export one with ``python -m repro.datasets export``)::
+
+    PYTHONPATH=src python -m repro.runtime --dataset dataset/
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ import sys
 from typing import List, Optional
 
 from repro.runtime.runner import EXECUTORS, RunnerConfig, StreamRunner
-from repro.runtime.scenes import build_scene_jobs
+from repro.runtime.scenes import build_scene_jobs, jobs_from_manifest
 from repro.trackers.registry import available_backends, parse_backend_list
 
 
@@ -74,6 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="base seed for the fleet's traffic draws"
     )
     parser.add_argument(
+        "--dataset",
+        metavar="DIR",
+        default=None,
+        help=(
+            "replay a recorded manifest-backed dataset from this directory "
+            "instead of rendering synthetic scenes (--scenes/--duration/"
+            "--seed are ignored)"
+        ),
+    )
+    parser.add_argument(
         "--tracker",
         default="overlap",
         metavar="NAME[,NAME...]",
@@ -97,10 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Render the fleet, run it, print the report.  Returns the exit code."""
     args = build_parser().parse_args(argv)
-    if args.scenes <= 0:
+    if args.dataset is None and args.scenes <= 0:
         print("error: --scenes must be positive", file=sys.stderr)
         return 2
-    if args.duration <= 0:
+    if args.dataset is None and args.duration <= 0:
         print("error: --duration must be positive", file=sys.stderr)
         return 2
     try:
@@ -114,22 +129,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    print(
-        f"rendering {args.scenes} synthetic traffic scene(s) "
-        f"of {args.duration:.1f} s each ...",
-        flush=True,
-    )
-    jobs = build_scene_jobs(
-        args.scenes,
-        duration_s=args.duration,
-        base_seed=args.seed,
-        trackers=trackers,
-    )
-    total_events = sum(len(job.stream) for job in jobs)
-    print(
-        f"rendered {total_events} events; processing on '{args.executor}' executor "
-        f"with tracker(s) {', '.join(trackers)} ..."
-    )
+    if args.dataset is not None:
+        try:
+            jobs = jobs_from_manifest(args.dataset, trackers=trackers)
+        except (FileNotFoundError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        total_events = sum(len(job.stream) for job in jobs)
+        print(
+            f"loaded {len(jobs)} recording(s) ({total_events} events) from "
+            f"{args.dataset}; processing on '{args.executor}' executor "
+            f"with tracker(s) {', '.join(trackers)} ..."
+        )
+    else:
+        print(
+            f"rendering {args.scenes} synthetic traffic scene(s) "
+            f"of {args.duration:.1f} s each ...",
+            flush=True,
+        )
+        jobs = build_scene_jobs(
+            args.scenes,
+            duration_s=args.duration,
+            base_seed=args.seed,
+            trackers=trackers,
+        )
+        total_events = sum(len(job.stream) for job in jobs)
+        print(
+            f"rendered {total_events} events; processing on '{args.executor}' executor "
+            f"with tracker(s) {', '.join(trackers)} ..."
+        )
 
     batch = StreamRunner(runner_config).run(jobs)
 

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Union
 
 from repro.core.config import EbbiotConfig
 from repro.datasets.annotations import RecordingAnnotations
+from repro.datasets.recorded import DatasetManifest
 from repro.datasets.synthetic import (
     DatasetSpec,
     ENG_LIKE_SPEC,
@@ -263,6 +264,61 @@ def jobs_from_recordings(
                 name=recording.name,
                 stream=recording.stream,
                 ground_truth=list(recording.annotations.frames),
+                config=config,
+            )
+        )
+    return jobs
+
+
+def jobs_from_manifest(
+    dataset: Union[str, "DatasetManifest"],
+    pipeline_config: Optional[EbbiotConfig] = None,
+    trackers: Optional[Union[str, Sequence[str]]] = None,
+) -> List[RecordingJob]:
+    """Load a manifest-backed on-disk dataset as runner jobs.
+
+    The disk counterpart of :func:`jobs_from_recordings`: each manifest
+    entry's events become the job's stream, its annotations (when present)
+    the ground truth, and its stored regions of exclusion the pipeline
+    config — so replaying an exported fleet reproduces the source run's
+    evaluation exactly.
+
+    Parameters
+    ----------
+    dataset:
+        A dataset directory / manifest path, or an already-loaded
+        :class:`~repro.datasets.recorded.DatasetManifest`.
+    pipeline_config:
+        Shared pipeline configuration (the manifest's per-recording ROE
+        boxes are layered on top).
+    trackers:
+        Tracker backend name(s), cycled across recordings exactly like
+        :func:`jobs_from_recordings`.
+    """
+    manifest = (
+        dataset
+        if isinstance(dataset, DatasetManifest)
+        else DatasetManifest.load(dataset)
+    )
+    base = pipeline_config or EbbiotConfig()
+    if isinstance(trackers, str):
+        trackers = [trackers]
+    jobs = []
+    for index, entry in enumerate(manifest.recordings):
+        loaded = manifest.load_entry(entry)
+        config = replace(
+            base,
+            width=loaded.stream.width,
+            height=loaded.stream.height,
+            roe_boxes=loaded.roe_boxes,
+        )
+        if trackers:
+            config = replace(config, tracker=trackers[index % len(trackers)])
+        jobs.append(
+            RecordingJob(
+                name=loaded.name,
+                stream=loaded.stream,
+                ground_truth=loaded.ground_truth,
                 config=config,
             )
         )

@@ -18,6 +18,11 @@ Live demo, eight synthetic sensors of two seconds each::
 Standalone server on a fixed port::
 
     PYTHONPATH=src python -m repro.serving --serve --port 7700
+
+Replay a recorded manifest-backed dataset from disk as the demo's sensors,
+paced at twice sensor speed::
+
+    PYTHONPATH=src python -m repro.serving --dataset dataset/ --speed 2
 """
 
 from __future__ import annotations
@@ -76,6 +81,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--realtime",
         action="store_true",
         help="demo: throttle clients to sensor real time",
+    )
+    parser.add_argument(
+        "--speed",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help=(
+            "demo: paced replay speed factor (1.0 = sensor real time, "
+            "2.0 = twice as fast; overrides --realtime)"
+        ),
+    )
+    parser.add_argument(
+        "--dataset",
+        metavar="DIR",
+        default=None,
+        help=(
+            "demo: replay recordings from a recorded manifest-backed dataset "
+            "instead of rendering synthetic scenes (--sensors caps how many; "
+            "--duration/--seed are ignored)"
+        ),
     )
     parser.add_argument(
         "--workers", type=int, default=4, help="hub worker shards"
@@ -138,15 +163,38 @@ def _hub_config(args: argparse.Namespace) -> HubConfig:
     )
 
 
-def run_demo(args: argparse.Namespace) -> int:
-    """In-process server + N concurrent synthetic sensor clients."""
+def _demo_recordings(args: argparse.Namespace) -> List[tuple]:
+    """The demo's ``(name, stream)`` pairs: rendered, or replayed from disk."""
+    if args.dataset is not None:
+        from repro.datasets.recorded import DatasetManifest
+
+        manifest = DatasetManifest.load(args.dataset)
+        loaded = [
+            manifest.load_entry(entry)
+            for entry in manifest.recordings[: args.sensors]
+        ]
+        print(
+            f"loaded {len(loaded)} of {len(manifest)} recording(s) from "
+            f"{args.dataset}"
+        )
+        return [(recording.name, recording.stream) for recording in loaded]
     print(
         f"rendering {args.sensors} synthetic sensor(s) of {args.duration:.1f} s each ...",
         flush=True,
     )
-    recordings = build_scene_recordings(
+    rendered = build_scene_recordings(
         args.sensors, duration_s=args.duration, base_seed=args.seed
     )
+    return [(recording.name, recording.stream) for recording in rendered]
+
+
+def run_demo(args: argparse.Namespace) -> int:
+    """In-process server + N concurrent sensor clients (rendered or replayed)."""
+    try:
+        recordings = _demo_recordings(args)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     trackers = _trackers(args)
     with TrackingServer(args.host, args.port, _hub_config(args)) as server:
         host, port = server.address
@@ -154,19 +202,20 @@ def run_demo(args: argparse.Namespace) -> int:
             f"tracking server listening on {host}:{port} "
             f"(tracker(s): {', '.join(trackers)})"
         )
-        with ThreadPoolExecutor(max_workers=args.sensors) as pool:
+        with ThreadPoolExecutor(max_workers=max(1, len(recordings))) as pool:
             futures = [
                 pool.submit(
                     stream_recording,
                     host,
                     port,
-                    recording.name,
-                    recording.stream,
+                    name,
+                    stream,
                     batch_duration_us=args.batch_us,
                     realtime=args.realtime,
+                    speed=args.speed,
                     tracker=trackers[index % len(trackers)],
                 )
-                for index, recording in enumerate(recordings)
+                for index, (name, stream) in enumerate(recordings)
             ]
             outcomes = [future.result() for future in futures]
         telemetry = server.hub.telemetry.to_dict()
@@ -226,6 +275,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     if args.batch_us <= 0:
         print("error: --batch-us must be positive", file=sys.stderr)
+        return 2
+    if args.speed is not None and args.speed <= 0:
+        print("error: --speed must be positive", file=sys.stderr)
         return 2
     try:
         _hub_config(args)

@@ -148,6 +148,7 @@ def stream_recording(
     stream: EventStream,
     batch_duration_us: int = 16_500,
     realtime: bool = False,
+    speed: Optional[float] = None,
     tracker: Optional[str] = None,
 ) -> Tuple[List[dict], dict]:
     """Replay one recording to the server as timestamped batches.
@@ -163,9 +164,15 @@ def stream_recording(
         66 ms EBBI window, matching a sensor driver that drains its FIFO a
         few times per frame.
     realtime:
-        When ``True`` sleeps between batches so the replay advances at
-        sensor speed (demos); ``False`` sends as fast as possible (tests,
+        When ``True`` the replay is paced to sensor real time (shorthand
+        for ``speed=1.0``); ``False`` sends as fast as possible (tests,
         benchmarks).
+    speed:
+        Replay speed factor for paced replay of disk recordings: ``1.0``
+        is sensor real time, ``2.0`` twice as fast, ``0.5`` half speed.
+        Overrides ``realtime``.  Pacing is drift-corrected — each batch is
+        released when its *stream-time* end is due on the wall clock, so
+        slow sends do not accumulate lag the way per-batch sleeps would.
     tracker:
         Optional tracker backend requested for this sensor (see
         :class:`SensorClient`).
@@ -177,6 +184,10 @@ def stream_recording(
     """
     if batch_duration_us <= 0:
         raise ValueError(f"batch_duration_us must be positive, got {batch_duration_us}")
+    if speed is None and realtime:
+        speed = 1.0
+    if speed is not None and speed <= 0:
+        raise ValueError(f"speed must be positive, got {speed}")
     with SensorClient(
         host,
         port,
@@ -187,15 +198,27 @@ def stream_recording(
     ) as client:
         events = stream.events
         if len(events):
+            # Batch edges stay on the absolute batch_duration_us grid, but
+            # start at the first event's window so a recording with a large
+            # epoch offset does not produce millions of empty leading batches.
+            grid_start = (int(events["t"][0]) // batch_duration_us) * batch_duration_us
             edges, splits = frame_boundaries(
-                events["t"], batch_duration_us, 0, int(events["t"][-1]) + 1
+                events["t"], batch_duration_us, grid_start, int(events["t"][-1]) + 1
             )
+            started_wall = time.monotonic()
+            # Pace relative to the first event, not t = 0: recorded files
+            # carry arbitrary epoch offsets (a jAER timestamp an hour into
+            # the sensor's uptime must not stall the replay for an hour).
+            t0_stream = int(events["t"][0])
             for i in range(len(edges) - 1):
                 batch = events[splits[i] : splits[i + 1]]
                 if len(batch) == 0:
                     continue
+                if speed is not None:
+                    due = (int(edges[i + 1]) - t0_stream) * 1e-6 / speed
+                    delay = due - (time.monotonic() - started_wall)
+                    if delay > 0:
+                        time.sleep(delay)
                 client.send_events(batch)
-                if realtime:
-                    time.sleep(batch_duration_us * 1e-6)
         summary = client.finish()
         return list(client.frames), summary

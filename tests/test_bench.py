@@ -61,6 +61,15 @@ class TestScenarios:
         assert serving["events_per_s_1"] > 0
         assert serving["events_per_s_n"] > 0
 
+    def test_dataset_replay_scenario(self):
+        metrics = SCENARIOS["dataset_replay"](TINY)
+        assert metrics["primary"] == "events_per_s"
+        assert metrics["events_per_s"] > 0
+        assert metrics["load_events_per_s"] > 0
+        assert metrics["replay_events_per_s"] > 0
+        assert metrics["num_recordings"] == TINY.scenes
+        assert metrics["num_events"] > 0
+
     def test_parse_scenario_list(self):
         assert parse_scenario_list("nn_filter, ebms_pipeline") == [
             "nn_filter",

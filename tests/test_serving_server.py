@@ -112,6 +112,95 @@ class TestTrackingServer:
             assert len(frames) == summary["num_frames"] > 0
             assert sum(len(f["tracks"]) for f in frames) > 0
 
+    def test_paced_replay_respects_speed_factor(self):
+        """``speed=N`` releases batches on the recording's own clock / N."""
+        import time
+
+        stream = _moving_block_stream(seed=4, num_frames=8)  # ~0.5 s of stream time
+        span_s = (stream.t_end + 1) * 1e-6
+        with TrackingServer() as server:
+            host, port = server.address
+            started = time.monotonic()
+            frames, summary = stream_recording(
+                host, port, "fast", stream, speed=4.0
+            )
+            paced_s = time.monotonic() - started
+        assert summary["num_events"] == len(stream)
+        assert len(frames) == summary["num_frames"] > 0
+        # The replay may not finish faster than stream time / speed (minus
+        # one batch of slack for the final window's early release).
+        assert paced_s >= span_s / 4.0 - 0.05
+
+    def test_paced_replay_output_matches_unpaced(self):
+        stream = _moving_block_stream(seed=5, num_frames=4)
+        with TrackingServer() as server:
+            host, port = server.address
+            paced_frames, paced = stream_recording(
+                host, port, "paced", stream, speed=50.0
+            )
+            plain_frames, plain = stream_recording(
+                host, port, "plain", stream
+            )
+        assert paced["num_frames"] == plain["num_frames"]
+        assert [f["tracks"] for f in paced_frames] == [
+            f["tracks"] for f in plain_frames
+        ]
+
+    def test_paced_replay_ignores_epoch_offset(self):
+        """Pacing is relative to the first event: a recording whose
+        timestamps start an hour into sensor uptime must not stall."""
+        import time
+
+        from repro.events.types import make_packet
+
+        base = _moving_block_stream(seed=7, num_frames=3)
+        # Enough to separate fixed from broken: absolute-time pacing would
+        # sleep offset/speed = 7.5 s; kept moderate because the server
+        # still frames the (empty) epoch gap on the align-to-zero grid.
+        offset_us = 60_000_000
+        shifted = EventStream(
+            make_packet(
+                base.events["x"],
+                base.events["y"],
+                base.events["t"] + offset_us,
+                base.events["p"],
+            ),
+            240,
+            180,
+        )
+        with TrackingServer() as server:
+            host, port = server.address
+            started = time.monotonic()
+            frames, summary = stream_recording(
+                host, port, "late-epoch", shifted, speed=8.0
+            )
+            elapsed = time.monotonic() - started
+        assert summary["num_events"] == len(shifted)
+        # Framing follows the batch path's align-to-zero grid, so the epoch
+        # gap yields empty windows (shed-able under backpressure) — but
+        # frames must flow and none of the real events may be lost.
+        assert 0 < len(frames) <= summary["num_frames"]
+        # Absolute-time pacing would sleep offset/speed = 7.5 s here.
+        assert elapsed < 4.0
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ValueError, match="speed must be positive"):
+            stream_recording("localhost", 1, "x", _moving_block_stream(6), speed=0.0)
+
+    def test_realtime_flag_paces_at_sensor_speed(self):
+        import time
+
+        stream = _moving_block_stream(seed=8, num_frames=3)  # ~0.2 s span
+        span_s = (stream.t_end + 1) * 1e-6
+        with TrackingServer() as server:
+            host, port = server.address
+            started = time.monotonic()
+            _, summary = stream_recording(host, port, "rt", stream, realtime=True)
+            elapsed = time.monotonic() - started
+        assert summary["num_events"] == len(stream)
+        # realtime=True must behave as speed=1.0, not full-speed replay.
+        assert elapsed >= span_s - 0.05
+
     def test_duplicate_sensor_id_rejected(self):
         stream = _moving_block_stream(seed=2)
         with TrackingServer() as server:
