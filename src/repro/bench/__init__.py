@@ -10,11 +10,11 @@ report/consistency machinery and :mod:`repro.bench.scenarios` for the
 individual workloads.
 """
 
+from repro.bench.compare import Comparison, compare_metric
 from repro.bench.harness import (
     FULL_PROFILE,
     QUICK_PROFILE,
     BenchProfile,
-    Comparison,
     build_report,
     calibrate,
     compare_reports,
@@ -31,6 +31,7 @@ __all__ = [
     "SCENARIOS",
     "build_report",
     "calibrate",
+    "compare_metric",
     "compare_reports",
     "dump_report",
     "load_report",

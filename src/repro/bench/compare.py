@@ -1,0 +1,116 @@
+"""Direction-aware metric comparison shared by the perf and quality gates.
+
+Both committed-baseline gates — ``python -m repro.bench`` (throughput) and
+``python -m repro.scenarios`` (tracking quality) — reduce to the same
+question: given a current value, a baseline value and a tolerance, did this
+metric get *worse*?  The answer depends on the metric's direction:
+
+* ``"up"`` — higher is better (throughput, speedup ratios, MOTA, MOTP,
+  precision, recall).  A regression is a drop below the baseline by more
+  than the margin.
+* ``"down"`` — lower is better (latency, processor wake fraction).  A
+  regression is a rise above the baseline by more than the margin.
+
+The margin is ``tolerance * max(abs(baseline), floor)``.  A plain relative
+margin (``floor=0``) matches the historical throughput semantics — a value
+regresses when it falls below ``baseline * (1 - tolerance)`` — but breaks
+down for quality metrics: MOTA is negative for a diverging tracker (the
+inequality would flip under a naive ``baseline * (1 - tolerance)``), and a
+baseline near zero would make any relative margin vanishingly strict.
+Passing ``floor=1.0`` for ``[-inf, 1]``-scaled quality metrics makes the
+tolerance an *absolute* budget in metric units (e.g. 0.1 MOTA) whenever
+``abs(baseline) <= 1``, while still scaling up for large-magnitude negative
+baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Allowed metric directions.
+DIRECTIONS = ("up", "down")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One metric compared against the committed baseline."""
+
+    scenario: str
+    metric: str
+    current: float
+    baseline: float
+    ratio: float
+    regressed: bool
+    normalized: bool
+    direction: str = "up"
+
+    def describe(self) -> str:
+        status = "REGRESSED" if self.regressed else "ok"
+        kind = "normalized" if self.normalized else "raw"
+        arrow = "higher-is-better" if self.direction == "up" else "lower-is-better"
+        return (
+            f"{self.scenario}.{self.metric} ({kind}, {arrow}): "
+            f"{self.current:.3g} vs baseline {self.baseline:.3g} "
+            f"(x{self.ratio:.2f}) {status}"
+        )
+
+
+def compare_metric(
+    scenario: str,
+    metric: str,
+    current: float,
+    baseline: float,
+    tolerance: float,
+    direction: str = "up",
+    floor: float = 0.0,
+    normalized: bool = False,
+) -> Comparison:
+    """Compare one metric value against its baseline, direction-aware.
+
+    Parameters
+    ----------
+    scenario, metric:
+        Names carried into the :class:`Comparison` for reporting.
+    current, baseline:
+        The values to compare (already normalized by the caller when
+        machine-speed normalization applies).
+    tolerance:
+        Fractional margin; must be in ``[0, 1)`` for relative use, but any
+        non-negative value is accepted (quality gates may want > 1 margins
+        on wildly negative baselines).
+    direction:
+        ``"up"`` (higher is better) or ``"down"`` (lower is better).
+    floor:
+        Minimum magnitude the margin is scaled by — see the module
+        docstring.  ``0.0`` keeps the margin purely relative.
+    normalized:
+        Reporting flag only: marks the values as machine-normalized.
+    """
+    if direction not in DIRECTIONS:
+        raise ValueError(f"direction must be one of {DIRECTIONS}, got {direction!r}")
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    current = float(current)
+    baseline = float(baseline)
+    margin = tolerance * max(abs(baseline), floor)
+    if direction == "up":
+        regressed = (baseline - current) > margin
+    else:
+        regressed = (current - baseline) > margin
+    if baseline != 0:
+        ratio = current / baseline
+    elif current == 0:
+        ratio = 1.0
+    else:
+        ratio = math.inf if current > 0 else -math.inf
+    return Comparison(
+        scenario=scenario,
+        metric=metric,
+        current=current,
+        baseline=baseline,
+        ratio=ratio,
+        regressed=regressed,
+        normalized=normalized,
+        direction=direction,
+    )

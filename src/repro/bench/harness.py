@@ -23,6 +23,8 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.bench.compare import Comparison, compare_metric
+
 #: Report schema version; bump when the JSON layout changes incompatibly.
 REPORT_VERSION = 1
 
@@ -107,28 +109,6 @@ def build_report(
     }
 
 
-@dataclass(frozen=True)
-class Comparison:
-    """One metric compared against the committed baseline."""
-
-    scenario: str
-    metric: str
-    current: float
-    baseline: float
-    ratio: float
-    regressed: bool
-    normalized: bool
-
-    def describe(self) -> str:
-        status = "REGRESSED" if self.regressed else "ok"
-        kind = "normalized" if self.normalized else "raw"
-        return (
-            f"{self.scenario}.{self.metric} ({kind}): "
-            f"{self.current:.3g} vs baseline {self.baseline:.3g} "
-            f"(x{self.ratio:.2f}) {status}"
-        )
-
-
 def compare_reports(
     current: dict, baseline: dict, tolerance: float = 0.30
 ) -> List[Comparison]:
@@ -147,9 +127,11 @@ def compare_reports(
 
     A metric regresses when it falls below ``baseline * (1 - tolerance)``
     (throughput) or ``baseline * (1 - min(0.9, 2 * tolerance))``
-    (speedups).  Scenarios or metrics missing from either side are
-    skipped — the check gates regressions, not coverage (the CLI treats
-    an empty comparison under ``--check`` as an error).
+    (speedups) — both are the shared
+    :func:`~repro.bench.compare.compare_metric` with direction ``"up"``
+    and a purely relative margin.  Scenarios or metrics missing from
+    either side are skipped — the check gates regressions, not coverage
+    (the CLI treats an empty comparison under ``--check`` as an error).
     """
     if not 0.0 <= tolerance < 1.0:
         raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
@@ -162,19 +144,16 @@ def compare_reports(
         if not base_metrics:
             continue
         if "speedup_vs_scalar" in metrics and "speedup_vs_scalar" in base_metrics:
-            cur = float(metrics["speedup_vs_scalar"])
             base = float(base_metrics["speedup_vs_scalar"])
             if base > 0:
-                ratio = cur / base
                 comparisons.append(
-                    Comparison(
+                    compare_metric(
                         scenario=name,
                         metric="speedup_vs_scalar",
-                        current=cur,
+                        current=float(metrics["speedup_vs_scalar"]),
                         baseline=base,
-                        ratio=ratio,
-                        regressed=ratio < 1.0 - speedup_tolerance,
-                        normalized=False,
+                        tolerance=speedup_tolerance,
+                        direction="up",
                     )
                 )
         primary = metrics.get("primary")
@@ -185,18 +164,16 @@ def compare_reports(
             and current_score > 0
             and baseline_score > 0
         ):
-            cur = float(metrics[primary]) / current_score
             base = float(base_metrics[primary]) / baseline_score
             if base > 0:
-                ratio = cur / base
                 comparisons.append(
-                    Comparison(
+                    compare_metric(
                         scenario=name,
                         metric=primary,
-                        current=cur,
+                        current=float(metrics[primary]) / current_score,
                         baseline=base,
-                        ratio=ratio,
-                        regressed=ratio < 1.0 - tolerance,
+                        tolerance=tolerance,
+                        direction="up",
                         normalized=True,
                     )
                 )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.sensor.duty_cycle import DutyCycleModel
 from repro.utils.geometry import BoundingBox
 from repro.utils.validation import ensure_positive, ensure_positive_int
 
@@ -51,6 +52,19 @@ class EbbiotConfig:
         Region proposals smaller than this (in px^2) are discarded.
     roe_boxes:
         Regions of exclusion (static distractors and occluders).
+    roe_max_overlap_fraction:
+        A region proposal is dropped when more than this fraction of its
+        area lies inside the union of the ROE boxes (the
+        :class:`~repro.core.roe.RegionOfExclusion` threshold).  Scenario
+        specs declare it alongside their ROE boxes instead of hand-wiring a
+        custom ``RegionOfExclusion`` into the pipeline.
+    duty_cycle:
+        Optional :class:`~repro.sensor.duty_cycle.DutyCycleModel` describing
+        the duty-cycled processor running this pipeline (Fig. 2).  The
+        pipeline's compute is unaffected — the model's ``frame_duration_us``
+        must match the pipeline's, and fleet runs use it to report per-
+        recording wake/sleep fractions and energy
+        (:class:`~repro.sensor.duty_cycle.DutyCycleSummary`).
     min_region_side_px:
         Minimum side length (in full-resolution pixels) of a proposed region.
     tracker:
@@ -76,6 +90,8 @@ class EbbiotConfig:
     max_missed_frames: int = 3
     min_proposal_area: float = 16.0
     roe_boxes: List[BoundingBox] = field(default_factory=list)
+    roe_max_overlap_fraction: float = 0.5
+    duty_cycle: Optional[DutyCycleModel] = None
     min_region_side_px: float = 2.0
     tracker: str = "overlap"
 
@@ -111,6 +127,21 @@ class EbbiotConfig:
         if self.histogram_threshold < 1:
             raise ValueError(
                 f"histogram_threshold must be >= 1, got {self.histogram_threshold}"
+            )
+        if not 0.0 <= self.roe_max_overlap_fraction <= 1.0:
+            raise ValueError(
+                "roe_max_overlap_fraction must be in [0, 1], got "
+                f"{self.roe_max_overlap_fraction}"
+            )
+        if (
+            self.duty_cycle is not None
+            and self.duty_cycle.frame_duration_us != self.frame_duration_us
+        ):
+            raise ValueError(
+                "duty_cycle.frame_duration_us "
+                f"({self.duty_cycle.frame_duration_us}) must match the "
+                f"pipeline frame_duration_us ({self.frame_duration_us}); "
+                "the duty-cycled processor wakes exactly once per EBBI frame"
             )
         # Deferred import: the registry's backends transitively import the
         # core package, which imports this module.

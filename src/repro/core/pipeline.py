@@ -153,7 +153,10 @@ class EbbiotPipeline:
             threshold=self.config.histogram_threshold,
             min_region_side_px=self.config.min_region_side_px,
         )
-        self.roe = RegionOfExclusion(boxes=list(self.config.roe_boxes))
+        self.roe = RegionOfExclusion(
+            boxes=list(self.config.roe_boxes),
+            max_overlap_fraction=self.config.roe_max_overlap_fraction,
+        )
         self.tracker: TrackerBackend = create_backend(
             tracker if tracker is not None else self.config.tracker, self.config
         )

@@ -31,11 +31,36 @@ class MotSummary:
     num_ground_truth_boxes: int
     num_matches: int
 
+    @property
+    def precision(self) -> float:
+        """IoU-thresholded precision: matches over reported tracker boxes.
+
+        Every reported box is either a match or a false positive under the
+        per-frame matching, so the counts already carried by the summary
+        determine precision at the evaluation's IoU threshold — and the
+        counts add across recordings, so pooled summaries
+        (:func:`~repro.runtime.aggregate.merge_mot_summaries`) give the
+        pooled precision for free.
+        """
+        reported = self.num_matches + self.num_false_positives
+        if reported == 0:
+            return 0.0
+        return self.num_matches / reported
+
+    @property
+    def recall(self) -> float:
+        """IoU-thresholded recall: matches over ground-truth boxes."""
+        if self.num_ground_truth_boxes == 0:
+            return 0.0
+        return self.num_matches / self.num_ground_truth_boxes
+
     def to_dict(self) -> dict:
         """JSON-serialisable representation."""
         return {
             "mota": self.mota,
             "motp": self.motp,
+            "precision": self.precision,
+            "recall": self.recall,
             "misses": self.num_misses,
             "false_positives": self.num_false_positives,
             "id_switches": self.num_id_switches,

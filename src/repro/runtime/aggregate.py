@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.evaluation.mot_metrics import MotSummary
+from repro.sensor.duty_cycle import DutyCycleSummary
 
 
 def merge_mot_summaries(summaries: Sequence[MotSummary]) -> Optional[MotSummary]:
@@ -77,6 +78,10 @@ class RecordingResult:
         Registry name of the tracker backend that produced the recording
         (``"overlap"``, ``"kalman"``, ``"ebms"``, ...); the fleet summary
         groups by it.
+    duty:
+        Wake/sleep/energy summary of the duty-cycled processor, when the
+        job's pipeline config carried a
+        :class:`~repro.sensor.duty_cycle.DutyCycleModel`.
     """
 
     name: str
@@ -92,6 +97,7 @@ class RecordingResult:
     num_proposals: int
     mot: Optional[MotSummary] = None
     tracker: str = "overlap"
+    duty: Optional[DutyCycleSummary] = None
 
     @property
     def events_per_second(self) -> float:
@@ -125,6 +131,7 @@ class RecordingResult:
             "num_track_observations": self.num_track_observations,
             "num_proposals": self.num_proposals,
             "mot": self.mot.to_dict() if self.mot is not None else None,
+            "duty": self.duty.to_dict() if self.duty is not None else None,
         }
 
 
@@ -209,6 +216,21 @@ class BatchResult:
             [r.mot for r in self.recordings if r.mot is not None]
         )
 
+    @property
+    def mean_duty_active_fraction(self) -> Optional[float]:
+        """Frame-weighted mean processor wake fraction over duty-cycled
+        recordings; ``None`` when no recording carried a duty model."""
+        with_duty = [r for r in self.recordings if r.duty is not None]
+        if not with_duty:
+            return None
+        total = sum(r.duty.num_frames for r in with_duty)
+        if total == 0:
+            return 0.0
+        return (
+            sum(r.duty.active_fraction * r.duty.num_frames for r in with_duty)
+            / total
+        )
+
     # -- per-backend aggregation --------------------------------------------------------
 
     @property
@@ -249,6 +271,7 @@ class BatchResult:
             "mean_active_pixel_fraction": self.mean_active_pixel_fraction,
             "mean_events_per_frame": self.mean_events_per_frame,
             "mean_active_trackers": self.mean_active_trackers,
+            "mean_duty_active_fraction": self.mean_duty_active_fraction,
             "mot": mot.to_dict() if mot is not None else None,
         }
 

@@ -137,6 +137,9 @@ def run_recording(job: RecordingJob, config: RunnerConfig) -> RecordingResult:
             job.ground_truth,
             iou_threshold=config.mot_iou_threshold,
         )
+    duty = None
+    if pipeline_config.duty_cycle is not None and result.num_frames > 0:
+        duty = pipeline_config.duty_cycle.summarize(result.num_frames)
     return RecordingResult(
         name=job.name,
         num_events=len(job.stream),
@@ -151,6 +154,7 @@ def run_recording(job: RecordingJob, config: RunnerConfig) -> RecordingResult:
         num_proposals=result.total_proposals(),
         mot=mot,
         tracker=pipeline.backend_name,
+        duty=duty,
     )
 
 

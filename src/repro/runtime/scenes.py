@@ -32,6 +32,7 @@ from repro.simulation.objects import OBJECT_TEMPLATES, ObjectClass, SceneObject
 from repro.simulation.scene import Scene, SceneConfig
 from repro.simulation.traffic import TrafficScenarioConfig, build_traffic_scene
 from repro.simulation.trajectories import crossing_trajectory
+from repro.utils.geometry import BoundingBox
 
 #: Offset between per-scene seeds; any constant works, it only has to keep
 #: the scenes' traffic draws distinct.
@@ -72,6 +73,8 @@ def build_rain_recording(
     seed: int = 0,
     name: str = "RAIN",
     spec: Optional[DatasetSpec] = None,
+    num_hot_pixels: int = 30,
+    hot_pixel_rate_hz: float = 150.0,
 ) -> SyntheticRecording:
     """Render the high-noise "rain" site.
 
@@ -79,7 +82,9 @@ def build_rain_recording(
     (:class:`~repro.events.noise.BackgroundActivityNoise` at several Hz per
     pixel) plus rain-drop-on-lens hot pixels
     (:class:`~repro.events.noise.HotPixelNoise`).  Pass ``spec`` to override
-    the base :data:`RAIN_LIKE_SPEC` fields (noise rate, arrival rate, lens).
+    the base :data:`RAIN_LIKE_SPEC` fields (noise rate, arrival rate, lens)
+    and ``num_hot_pixels`` / ``hot_pixel_rate_hz`` to size the hot-pixel
+    population (the scenario library sweeps these per noise regime).
     """
     spec = replace(
         spec or RAIN_LIKE_SPEC, name=name, simulated_duration_s=duration_s, seed=seed
@@ -95,7 +100,10 @@ def build_rain_recording(
         seed=seed,
     )
     scene = build_traffic_scene(config)
-    scene.config.hot_pixels = HotPixelNoise(num_hot_pixels=30, rate_hz=150.0, seed=seed)
+    if num_hot_pixels > 0:
+        scene.config.hot_pixels = HotPixelNoise(
+            num_hot_pixels=num_hot_pixels, rate_hz=hot_pixel_rate_hz, seed=seed
+        )
     result = scene.render(
         duration_us=int(duration_s * 1e6),
         ground_truth_interval_us=_FRAME_DURATION_US,
@@ -239,6 +247,7 @@ def jobs_from_recordings(
     recordings: Sequence[SyntheticRecording],
     pipeline_config: Optional[EbbiotConfig] = None,
     trackers: Optional[Union[str, Sequence[str]]] = None,
+    extra_roe_boxes: Optional[Sequence[BoundingBox]] = None,
 ) -> List[RecordingJob]:
     """Wrap rendered recordings as runner jobs.
 
@@ -250,13 +259,22 @@ def jobs_from_recordings(
     name applies to the whole fleet, a sequence of names is cycled across
     the recordings (a mixed-backend fleet — the shoot-out and A/B configs),
     and ``None`` keeps whatever ``pipeline_config`` carries.
+
+    ``extra_roe_boxes`` are appended to every recording's derived ROE —
+    the declared exclusion zones of a scenario spec (e.g. the complement of
+    a duty-cycled sensor's ROE wake-up window), layered on top of whatever
+    the site's distractors require.  Everything else a scenario declares
+    (duty-cycle model, ROE overlap threshold, tracker parameters) rides in
+    on ``pipeline_config`` and is preserved by the per-recording
+    ``replace`` here.
     """
     base = pipeline_config or EbbiotConfig()
     if isinstance(trackers, str):
         trackers = [trackers]
+    extra = list(extra_roe_boxes) if extra_roe_boxes else []
     jobs = []
     for index, recording in enumerate(recordings):
-        config = replace(base, roe_boxes=recording.roe_boxes())
+        config = replace(base, roe_boxes=recording.roe_boxes() + extra)
         if trackers:
             config = replace(config, tracker=trackers[index % len(trackers)])
         jobs.append(

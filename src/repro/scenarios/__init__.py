@@ -1,0 +1,69 @@
+"""Scenario-matrix robustness suite (``python -m repro.scenarios``).
+
+A declarative scenario library (:mod:`repro.scenarios.library`) describes
+the operating regimes a deployed EBBIOT sensor must survive — object-
+density sweeps, day/night background-activity levels, rain and hot-pixel
+storms, scripted crossing-object occlusions, duty-cycled processors with
+operator-declared ROE boxes.  The matrix runner
+(:mod:`repro.scenarios.matrix`) executes every (scenario x tracker
+backend) cell through the batch runtime, pools CLEAR-MOT / precision /
+recall / latency per cell, and emits one JSON report; the compare layer
+(:mod:`repro.scenarios.compare`) gates that report against the committed
+``QUALITY_scenario_matrix*.json`` baselines with direction-aware
+tolerances (quality metrics are deterministic and gated on an absolute
+budget; wall-clock latency is machine-normalised and gated loosely).
+"""
+
+from repro.scenarios.compare import (
+    LATENCY_METRIC,
+    QUALITY_METRICS,
+    compare_quality_reports,
+    missing_cells,
+)
+from repro.scenarios.library import (
+    DAY_BASELINE,
+    FULL_MATRIX,
+    MATRICES,
+    NIGHT_QUIET,
+    QUICK_MATRIX,
+    RAIN_STORM,
+    SCENARIO_LIBRARY,
+    DutyCycleSpec,
+    MatrixSpec,
+    NoiseRegime,
+    ScenarioSpec,
+    build_scenario_recordings,
+    scenario_jobs,
+)
+from repro.scenarios.matrix import (
+    MATRIX_VERSION,
+    apply_config_overrides,
+    cell_metrics,
+    run_cell,
+    run_matrix,
+)
+
+__all__ = [
+    "DAY_BASELINE",
+    "DutyCycleSpec",
+    "FULL_MATRIX",
+    "LATENCY_METRIC",
+    "MATRICES",
+    "MATRIX_VERSION",
+    "MatrixSpec",
+    "NIGHT_QUIET",
+    "NoiseRegime",
+    "QUALITY_METRICS",
+    "QUICK_MATRIX",
+    "RAIN_STORM",
+    "SCENARIO_LIBRARY",
+    "ScenarioSpec",
+    "apply_config_overrides",
+    "build_scenario_recordings",
+    "cell_metrics",
+    "compare_quality_reports",
+    "missing_cells",
+    "run_cell",
+    "run_matrix",
+    "scenario_jobs",
+]

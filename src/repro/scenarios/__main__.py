@@ -1,0 +1,228 @@
+"""CLI for the scenario-matrix robustness suite.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.scenarios                  # full matrix, write baseline artifact
+    PYTHONPATH=src python -m repro.scenarios --quick --check  # CI quality gate
+    PYTHONPATH=src python -m repro.scenarios --matrix quick --list
+    PYTHONPATH=src python -m repro.scenarios --quick --check \\
+        --set overlap_threshold=0.9                           # perturbation study
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.bench.harness import dump_report, load_report
+from repro.runtime.runner import EXECUTORS
+from repro.scenarios.compare import compare_quality_reports, missing_cells
+from repro.scenarios.library import MATRICES, SCENARIO_LIBRARY
+from repro.scenarios.matrix import format_cells, run_matrix
+
+#: Default report artifacts, one per matrix (mirrors the bench harness's
+#: per-profile BENCH_*.json convention).
+DEFAULT_OUTPUTS = {
+    "full": "QUALITY_scenario_matrix.json",
+    "quick": "QUALITY_scenario_matrix_quick.json",
+}
+
+
+def parse_overrides(pairs: List[str]) -> Dict[str, str]:
+    """Parse repeated ``--set FIELD=VALUE`` arguments."""
+    overrides: Dict[str, str] = {}
+    for pair in pairs:
+        name, separator, value = pair.partition("=")
+        if not separator or not name:
+            raise ValueError(f"--set expects FIELD=VALUE, got {pair!r}")
+        overrides[name.strip()] = value.strip()
+    return overrides
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--matrix",
+        default=None,
+        choices=sorted(MATRICES),
+        help="named matrix to run (default: full)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorthand for --matrix quick (the CI smoke grid)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="where to write the JSON report ('-' for stdout only; default: "
+        "QUALITY_scenario_matrix.json, or QUALITY_scenario_matrix_quick.json "
+        "for the quick matrix, so each matrix round-trips against its own "
+        "committed baseline)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline report to compare against (default: the --output path, "
+        "read before it is overwritten)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when any cell metric regresses beyond its "
+        "tolerance or a baseline cell is missing from this run",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="absolute budget for the deterministic quality metrics "
+        "(default 0.05: MOTA/MOTP/precision/recall may drop by at most "
+        "this much)",
+    )
+    parser.add_argument(
+        "--latency-tolerance",
+        type=float,
+        default=1.0,
+        help="relative margin for the machine-normalised per-frame latency "
+        "(default 1.0)",
+    )
+    parser.add_argument(
+        "--executor",
+        default="thread",
+        choices=EXECUTORS,
+        help="runner executor for each cell's fleet (default: thread)",
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help="perturb a pipeline-config field for every cell (repeatable), "
+        "e.g. --set overlap_threshold=0.9; with --check this shows which "
+        "scenarios the perturbation breaks",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list matrices and scenarios, then exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, matrix in MATRICES.items():
+            print(
+                f"matrix {name}: {len(matrix.scenarios)} scenario(s) x "
+                f"{len(matrix.trackers)} tracker(s) = "
+                f"{len(matrix.cells())} cells"
+            )
+        print()
+        for name, spec in SCENARIO_LIBRARY.items():
+            print(f"{name:<18} {spec.description}")
+        return 0
+
+    if args.quick and args.matrix not in (None, "quick"):
+        print(
+            f"error: --quick conflicts with --matrix {args.matrix}",
+            file=sys.stderr,
+        )
+        return 2
+    matrix = MATRICES[args.matrix or ("quick" if args.quick else "full")]
+
+    try:
+        overrides = parse_overrides(args.overrides)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.output is None:
+        args.output = DEFAULT_OUTPUTS[matrix.name]
+    baseline_path = args.baseline or (args.output if args.output != "-" else None)
+    baseline = load_report(baseline_path) if baseline_path else None
+
+    print(
+        f"matrix {matrix.name}: {len(matrix.scenarios)} scenario(s) x "
+        f"{len(matrix.trackers)} tracker(s)"
+        + (f", overrides {overrides}" if overrides else ""),
+        flush=True,
+    )
+    try:
+        report = run_matrix(
+            matrix,
+            executor=args.executor,
+            config_overrides=overrides,
+            progress=lambda line: print(line, flush=True),
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print()
+    print(format_cells(report))
+
+    exit_code = 0
+    if baseline is not None:
+        try:
+            comparisons = compare_quality_reports(
+                report,
+                baseline,
+                tolerance=args.tolerance,
+                latency_tolerance=args.latency_tolerance,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        missing = missing_cells(report, baseline)
+        if comparisons or missing:
+            print()
+            print(
+                f"baseline: {baseline_path} (quality tolerance "
+                f"{args.tolerance}, latency tolerance "
+                f"{args.latency_tolerance:.0%})"
+            )
+            for comparison in comparisons:
+                print(f"  {comparison.describe()}")
+            for key in missing:
+                print(f"  {key}: MISSING from this run (present in baseline)")
+            if args.check and missing:
+                # Coverage loss outranks a metric regression: exit 2, like
+                # the other "the gate could not actually gate" conditions.
+                print(
+                    "error: baseline cell(s) missing from this run: "
+                    + ", ".join(missing),
+                    file=sys.stderr,
+                )
+                exit_code = 2
+            elif args.check and any(c.regressed for c in comparisons):
+                exit_code = 1
+        elif args.check:
+            # A gate with nothing to compare is not a passing gate: a
+            # renamed baseline or matrix would otherwise silently disable
+            # the quality check while CI stays green.
+            print(
+                f"error: --check found nothing comparable in baseline "
+                f"{baseline_path}",
+                file=sys.stderr,
+            )
+            exit_code = 2
+    elif args.check:
+        print(
+            f"error: --check requested but no baseline found at {baseline_path}",
+            file=sys.stderr,
+        )
+        exit_code = 2
+
+    if args.output == "-":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        dump_report(report, args.output)
+        print(f"\nwrote JSON report to {args.output}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,457 @@
+"""Declarative scenario grammar and the named scenario library.
+
+A :class:`ScenarioSpec` describes one operating regime of a deployed
+EBBIOT sensor as data — traffic density, noise regime (day/night
+background activity, rain/hot-pixel populations), occlusion choreography,
+a duty-cycled processor with its declared ROE wake-up boxes — without any
+imperative rendering code.  :func:`build_scenario_recordings` lowers a
+spec onto the existing synthetic machinery (the Table I traffic renderer,
+the rain site and the scripted crossing scene of
+:mod:`repro.runtime.scenes`) and :func:`scenario_jobs` wraps the result as
+runner jobs for one tracker backend.
+
+The named :data:`SCENARIO_LIBRARY` spans the regimes the paper's
+deployment cares about: an object-density sweep (sparse / urban / rush),
+day and night background-activity levels, a rain storm with
+drop-on-the-lens hot pixels, the guaranteed dynamic occlusion of the
+crossing scene, and a duty-cycled sensor whose operator declared
+overlapping ROE boxes.  A :class:`MatrixSpec` selects scenarios and
+tracker backends; :data:`MATRICES` holds the committed-baseline ``full``
+matrix and the CI ``quick`` smoke matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import EbbiotConfig
+from repro.datasets.synthetic import (
+    DatasetSpec,
+    SyntheticRecording,
+    build_recording,
+)
+from repro.runtime.runner import RecordingJob
+from repro.runtime.scenes import (
+    CROSSING_SPEC,
+    build_crossing_recording,
+    build_rain_recording,
+    jobs_from_recordings,
+)
+from repro.sensor.duty_cycle import DutyCycleModel
+from repro.utils.geometry import BoundingBox
+
+#: Offset between per-scene seeds within one scenario (mirrors
+#: :data:`repro.runtime.scenes._SEED_STRIDE`).
+SEED_STRIDE = 101
+
+#: Scenario kinds understood by :func:`build_scenario_recordings`.
+KINDS = ("traffic", "crossing")
+
+
+@dataclass(frozen=True)
+class NoiseRegime:
+    """Sensor noise conditions of a scenario.
+
+    Parameters
+    ----------
+    name:
+        Regime label (reported in the matrix config).
+    background_rate_hz_per_pixel:
+        Background-activity noise rate — low at night, moderate by day,
+        several Hz per pixel in rain.
+    num_hot_pixels, hot_pixel_rate_hz:
+        Population and firing rate of stuck/rain-drop hot pixels; zero
+        hot pixels means none are injected.
+    """
+
+    name: str
+    background_rate_hz_per_pixel: float
+    num_hot_pixels: int = 0
+    hot_pixel_rate_hz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.background_rate_hz_per_pixel < 0:
+            raise ValueError("background_rate_hz_per_pixel must be non-negative")
+        if self.num_hot_pixels < 0:
+            raise ValueError("num_hot_pixels must be non-negative")
+        if self.hot_pixel_rate_hz < 0:
+            raise ValueError("hot_pixel_rate_hz must be non-negative")
+
+
+#: Night: an almost silent sensor (cool, dark, low-activity site).
+NIGHT_QUIET = NoiseRegime(name="night-quiet", background_rate_hz_per_pixel=0.08)
+
+#: Day: the Table I sites' typical daytime background activity.
+DAY_BASELINE = NoiseRegime(name="day-baseline", background_rate_hz_per_pixel=0.5)
+
+#: Storm: heavy rain — background activity several times the daytime
+#: level plus a population of drop-on-the-lens hot pixels.
+RAIN_STORM = NoiseRegime(
+    name="rain-storm",
+    background_rate_hz_per_pixel=3.0,
+    num_hot_pixels=40,
+    hot_pixel_rate_hz=150.0,
+)
+
+
+@dataclass(frozen=True)
+class DutyCycleSpec:
+    """Duty-cycled processor parameters declared by a scenario.
+
+    A thin, frame-duration-free wrapper over
+    :class:`~repro.sensor.duty_cycle.DutyCycleModel`: the scenario cannot
+    know the pipeline's ``tF`` (a matrix override may change it), so the
+    model is instantiated against the pipeline config at job-build time,
+    which also lets :class:`~repro.core.config.EbbiotConfig` validate the
+    one-wake-per-frame invariant.
+    """
+
+    wakeup_time_us: float = 100.0
+    readout_time_us: float = 2_000.0
+    processing_time_us: float = 5_000.0
+    sleep_power_mw: float = 0.05
+    active_power_mw: float = 30.0
+
+    def model(self, frame_duration_us: float) -> DutyCycleModel:
+        """Instantiate the timing/energy model for a pipeline's ``tF``."""
+        return DutyCycleModel(
+            frame_duration_us=frame_duration_us,
+            wakeup_time_us=self.wakeup_time_us,
+            readout_time_us=self.readout_time_us,
+            processing_time_us=self.processing_time_us,
+            sleep_power_mw=self.sleep_power_mw,
+            active_power_mw=self.active_power_mw,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named operating regime of the robustness suite.
+
+    Parameters
+    ----------
+    name, description:
+        Identifier (the row key of the matrix report) and a one-line
+        summary for ``--list``.
+    kind:
+        ``"traffic"`` — Poisson traffic under the scenario's noise regime
+        (hot pixels included when the regime declares them); or
+        ``"crossing"`` — the scripted crossing-objects occlusion scene.
+    num_scenes, duration_s, seed:
+        Fleet size, per-recording length and the base seed; per-scene
+        seeds advance by :data:`SEED_STRIDE` so recordings share no draws.
+    arrival_rate_per_s:
+        Traffic density (ignored by the scripted ``"crossing"`` kind).
+    lens_focal_length_mm:
+        Site lens (12 mm ENG-like, 6 mm LT4-like).
+    noise:
+        The scenario's :class:`NoiseRegime`.
+    include_foliage:
+        Add the tree-canopy distractor (whose derived ROE box then lands
+        in every job config, exercising the exclusion path).
+    duty:
+        Optional :class:`DutyCycleSpec` for a duty-cycled sensor.
+    roe_boxes:
+        Operator-declared regions of exclusion, layered on top of each
+        recording's derived distractor boxes (the ROE wake-up-box
+        choreography; overlapping boxes exercise the union coverage).
+    roe_max_overlap_fraction:
+        The pipeline's ROE drop threshold for this scenario.
+    """
+
+    name: str
+    description: str
+    kind: str = "traffic"
+    num_scenes: int = 2
+    duration_s: float = 4.0
+    seed: int = 0
+    arrival_rate_per_s: float = 0.25
+    lens_focal_length_mm: float = 12.0
+    noise: NoiseRegime = DAY_BASELINE
+    include_foliage: bool = False
+    duty: Optional[DutyCycleSpec] = None
+    roe_boxes: Tuple[BoundingBox, ...] = ()
+    roe_max_overlap_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if self.num_scenes <= 0:
+            raise ValueError(f"num_scenes must be positive, got {self.num_scenes}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+
+    def scaled(
+        self, num_scenes: Optional[int] = None, duration_s: Optional[float] = None
+    ) -> "ScenarioSpec":
+        """This scenario at a different fleet size / recording length.
+
+        The quick matrix shrinks every scenario this way rather than
+        defining a parallel library.
+        """
+        spec = self
+        if num_scenes is not None:
+            spec = replace(spec, num_scenes=min(spec.num_scenes, num_scenes))
+        if duration_s is not None:
+            spec = replace(spec, duration_s=duration_s)
+        return spec
+
+    def pipeline_config(self, base: Optional[EbbiotConfig] = None) -> EbbiotConfig:
+        """The scenario's pipeline configuration on top of ``base``.
+
+        Declares the ROE drop threshold and — for duty-cycled scenarios —
+        the duty model instantiated against the (possibly overridden)
+        frame duration.  The declared ``roe_boxes`` are *not* set here:
+        they are per-recording (layered onto the derived distractor boxes
+        by :func:`scenario_jobs` via ``extra_roe_boxes``).
+        """
+        config = base or EbbiotConfig()
+        duty = (
+            self.duty.model(float(config.frame_duration_us))
+            if self.duty is not None
+            else None
+        )
+        return replace(
+            config,
+            roe_max_overlap_fraction=self.roe_max_overlap_fraction,
+            duty_cycle=duty,
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serialisable description (recorded in the matrix config)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "kind": self.kind,
+            "num_scenes": self.num_scenes,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "arrival_rate_per_s": self.arrival_rate_per_s,
+            "noise": self.noise.name,
+            "background_rate_hz_per_pixel": self.noise.background_rate_hz_per_pixel,
+            "num_hot_pixels": self.noise.num_hot_pixels,
+            "include_foliage": self.include_foliage,
+            "duty_cycled": self.duty is not None,
+            "num_declared_roe_boxes": len(self.roe_boxes),
+        }
+
+
+def _dataset_spec(scenario: ScenarioSpec) -> DatasetSpec:
+    """Lower a traffic scenario onto the Table I dataset-spec machinery."""
+    return DatasetSpec(
+        name=scenario.name,
+        lens_focal_length_mm=scenario.lens_focal_length_mm,
+        paper_duration_s=0.0,
+        paper_num_events=0.0,
+        simulated_duration_s=scenario.duration_s,
+        arrival_rate_per_s=scenario.arrival_rate_per_s,
+        noise_rate_hz_per_pixel=scenario.noise.background_rate_hz_per_pixel,
+        include_foliage=scenario.include_foliage,
+        seed=scenario.seed,
+    )
+
+
+def build_scenario_recordings(scenario: ScenarioSpec) -> List[SyntheticRecording]:
+    """Render a scenario's fleet of recordings, deterministically.
+
+    Scene ``i`` renders with seed ``scenario.seed + SEED_STRIDE * i`` and
+    name ``"{scenario.name}-{i:02d}"``; the same spec always produces
+    byte-identical event streams, which is what lets the matrix commit a
+    quality baseline at all.
+    """
+    recordings: List[SyntheticRecording] = []
+    for index in range(scenario.num_scenes):
+        seed = scenario.seed + SEED_STRIDE * index
+        name = f"{scenario.name}-{index:02d}"
+        if scenario.kind == "crossing":
+            spec = replace(
+                CROSSING_SPEC,
+                noise_rate_hz_per_pixel=scenario.noise.background_rate_hz_per_pixel,
+                lens_focal_length_mm=scenario.lens_focal_length_mm,
+            )
+            recordings.append(
+                build_crossing_recording(
+                    duration_s=scenario.duration_s, seed=seed, name=name, spec=spec
+                )
+            )
+        elif scenario.noise.num_hot_pixels > 0:
+            recordings.append(
+                build_rain_recording(
+                    duration_s=scenario.duration_s,
+                    seed=seed,
+                    name=name,
+                    spec=_dataset_spec(scenario),
+                    num_hot_pixels=scenario.noise.num_hot_pixels,
+                    hot_pixel_rate_hz=scenario.noise.hot_pixel_rate_hz,
+                )
+            )
+        else:
+            spec = replace(_dataset_spec(scenario), name=name, seed=seed)
+            recordings.append(build_recording(spec))
+    return recordings
+
+
+def scenario_jobs(
+    scenario: ScenarioSpec,
+    tracker: str,
+    recordings: Optional[Sequence[SyntheticRecording]] = None,
+    base_config: Optional[EbbiotConfig] = None,
+) -> List[RecordingJob]:
+    """One matrix cell's runner jobs: a scenario under one tracker backend.
+
+    Pass ``recordings`` to reuse an already-rendered fleet across the
+    matrix's tracker legs (pipelines never mutate event streams, so the
+    render cost is paid once per scenario, not once per cell).
+    """
+    if recordings is None:
+        recordings = build_scenario_recordings(scenario)
+    return jobs_from_recordings(
+        recordings,
+        pipeline_config=scenario.pipeline_config(base_config),
+        trackers=tracker,
+        extra_roe_boxes=list(scenario.roe_boxes),
+    )
+
+
+#: Overlapping operator-declared exclusion boxes for the duty-cycled site:
+#: two bands over the top of the frame whose overlap would be double-counted
+#: by a pairwise coverage sum — the union arithmetic keeps the drop decision
+#: honest for proposals under either band.
+_DUTY_ROE_BOXES = (
+    BoundingBox(x=0.0, y=140.0, width=150.0, height=40.0),
+    BoundingBox(x=90.0, y=140.0, width=150.0, height=40.0),
+)
+
+#: The named scenario library, in report order.
+SCENARIO_LIBRARY: Dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            name="density-sparse",
+            description="sparse overnight traffic, one object at a time",
+            arrival_rate_per_s=0.1,
+            seed=17,
+        ),
+        ScenarioSpec(
+            name="density-urban",
+            description="steady urban traffic (the Table I operating point)",
+            arrival_rate_per_s=0.3,
+            seed=23,
+        ),
+        ScenarioSpec(
+            name="density-rush",
+            description="rush-hour density, frequent concurrent objects",
+            arrival_rate_per_s=0.6,
+            seed=31,
+        ),
+        ScenarioSpec(
+            name="night-quiet",
+            description="night: near-silent background activity",
+            noise=NIGHT_QUIET,
+            arrival_rate_per_s=0.2,
+            seed=41,
+        ),
+        ScenarioSpec(
+            name="day-foliage",
+            description="day: moderate noise plus a foliage distractor (derived ROE)",
+            noise=DAY_BASELINE,
+            include_foliage=True,
+            seed=50,
+        ),
+        ScenarioSpec(
+            name="rain-storm",
+            description="storm: heavy background activity and hot pixels",
+            noise=RAIN_STORM,
+            arrival_rate_per_s=0.2,
+            seed=64,
+        ),
+        ScenarioSpec(
+            name="occlusion-cross",
+            description="scripted crossing objects: guaranteed dynamic occlusion",
+            kind="crossing",
+            num_scenes=1,
+            duration_s=6.0,
+            seed=70,
+        ),
+        ScenarioSpec(
+            name="duty-cycled-roe",
+            description="duty-cycled sensor with overlapping declared ROE boxes",
+            arrival_rate_per_s=0.25,
+            duty=DutyCycleSpec(),
+            roe_boxes=_DUTY_ROE_BOXES,
+            seed=80,
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """A (scenario x tracker) grid for the matrix runner.
+
+    Parameters
+    ----------
+    name:
+        Matrix name (selects the default report filename).
+    scenarios:
+        Scenario names from :data:`SCENARIO_LIBRARY`, in report order.
+    trackers:
+        Tracker-backend registry names; every scenario runs under each.
+    num_scenes, duration_s:
+        Optional downscaling applied to every scenario via
+        :meth:`ScenarioSpec.scaled` (the quick matrix shrinks the library
+        instead of duplicating it).
+    """
+
+    name: str
+    scenarios: Tuple[str, ...]
+    trackers: Tuple[str, ...]
+    num_scenes: Optional[int] = None
+    duration_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("a matrix needs at least one scenario")
+        if not self.trackers:
+            raise ValueError("a matrix needs at least one tracker")
+        unknown = [s for s in self.scenarios if s not in SCENARIO_LIBRARY]
+        if unknown:
+            raise ValueError(
+                f"unknown scenario(s) {unknown}; known: {list(SCENARIO_LIBRARY)}"
+            )
+
+    def scenario_specs(self) -> List[ScenarioSpec]:
+        """The (possibly downscaled) scenario specs of this matrix."""
+        return [
+            SCENARIO_LIBRARY[name].scaled(self.num_scenes, self.duration_s)
+            for name in self.scenarios
+        ]
+
+    def cells(self) -> List[Tuple[str, str]]:
+        """All ``(scenario, tracker)`` cell keys, in report order."""
+        return [(s, t) for s in self.scenarios for t in self.trackers]
+
+
+#: The committed-baseline matrix: every scenario x every backend.
+FULL_MATRIX = MatrixSpec(
+    name="full",
+    scenarios=tuple(SCENARIO_LIBRARY),
+    trackers=("overlap", "kalman", "ebms"),
+)
+
+#: The CI smoke matrix: one representative scenario per family, tiny
+#: fleets, the two frame-based backends.
+QUICK_MATRIX = MatrixSpec(
+    name="quick",
+    scenarios=("density-urban", "rain-storm", "occlusion-cross", "duty-cycled-roe"),
+    trackers=("overlap", "kalman"),
+    num_scenes=1,
+    duration_s=2.0,
+)
+
+#: Named matrices the CLI accepts via ``--matrix``.
+MATRICES: Dict[str, MatrixSpec] = {
+    FULL_MATRIX.name: FULL_MATRIX,
+    QUICK_MATRIX.name: QUICK_MATRIX,
+}

@@ -1,0 +1,209 @@
+"""Matrix runner: every (scenario x tracker) cell through the runtime.
+
+:func:`run_matrix` renders each scenario's fleet once, runs it through
+:class:`~repro.runtime.runner.StreamRunner` under every tracker backend of
+the matrix, pools the per-recording CLEAR-MOT summaries into one set of
+cell metrics (MOTA, MOTP, precision, recall at the evaluation IoU
+threshold), and emits a single JSON-serialisable report keyed by
+``"scenario/tracker"``.
+
+Quality metrics are deterministic: the scenario seeds fix the event
+streams byte for byte and the pipeline is deterministic, so the committed
+``QUALITY_scenario_matrix*.json`` baselines compare exactly.  The only
+machine-dependent cell metric is ``latency_ms_per_frame``; the report
+carries a :func:`~repro.bench.harness.calibrate` machine-speed score so
+the compare layer can normalise it (see
+:mod:`repro.scenarios.compare`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.bench.harness import calibrate
+from repro.core.config import EbbiotConfig
+from repro.runtime.aggregate import BatchResult
+from repro.runtime.runner import RunnerConfig, StreamRunner
+from repro.scenarios.library import (
+    MatrixSpec,
+    ScenarioSpec,
+    build_scenario_recordings,
+    scenario_jobs,
+)
+
+#: Report schema version; bump when the JSON layout changes incompatibly.
+MATRIX_VERSION = 1
+
+#: The report's ``suite`` discriminator (guards against comparing a bench
+#: report to a quality baseline).
+SUITE_NAME = "scenario_matrix"
+
+
+def apply_config_overrides(
+    base: EbbiotConfig, overrides: Dict[str, object]
+) -> EbbiotConfig:
+    """Apply ``field=value`` overrides to a pipeline config, typed by field.
+
+    Values arrive as strings from the CLI's ``--set``; each is coerced by
+    the dataclass field's declared type (``int``, ``float``, ``bool``,
+    ``str``).  Unknown field names and uncoercible values raise
+    ``ValueError`` — a typo'd perturbation must fail loudly, not silently
+    compare an unperturbed run.
+    """
+    if not overrides:
+        return base
+    fields = {f.name: f for f in dataclasses.fields(base)}
+    coerced: Dict[str, object] = {}
+    for name, value in overrides.items():
+        if name not in fields:
+            raise ValueError(
+                f"unknown pipeline config field {name!r}; known fields: "
+                f"{sorted(fields)}"
+            )
+        if isinstance(value, str):
+            kind = fields[name].type
+            try:
+                if kind == "int":
+                    value = int(value)
+                elif kind == "float":
+                    value = float(value)
+                elif kind == "bool":
+                    if value.lower() not in ("true", "false", "0", "1"):
+                        raise ValueError(value)
+                    value = value.lower() in ("true", "1")
+                elif kind != "str":
+                    raise ValueError(
+                        f"field {name!r} ({kind}) cannot be set from the "
+                        "command line"
+                    )
+            except ValueError as error:
+                raise ValueError(
+                    f"cannot parse {value!r} as {kind} for field {name!r}"
+                ) from error
+        coerced[name] = value
+    return dataclasses.replace(base, **coerced)
+
+
+def cell_metrics(batch: BatchResult) -> Dict[str, object]:
+    """Pool one cell's fleet result into its reported metrics.
+
+    MOT counts add across the scenario's recordings
+    (:func:`~repro.runtime.aggregate.merge_mot_summaries`), so the pooled
+    MOTA/precision/recall are exactly what evaluating the concatenated
+    fleet would give.  ``latency_ms_per_frame`` sums pipeline wall time
+    over total frames — wall-clock, hence machine-dependent, hence the
+    one metric the compare layer normalises.
+    """
+    mot = batch.mot
+    total_frames = batch.total_frames
+    wall_time_s = sum(r.wall_time_s for r in batch.recordings)
+    latency_ms = 1000.0 * wall_time_s / total_frames if total_frames else 0.0
+    metrics: Dict[str, object] = {
+        "mota": mot.mota if mot else 0.0,
+        "motp": mot.motp if mot else 0.0,
+        "precision": mot.precision if mot else 0.0,
+        "recall": mot.recall if mot else 0.0,
+        "num_matches": mot.num_matches if mot else 0,
+        "num_misses": mot.num_misses if mot else 0,
+        "num_false_positives": mot.num_false_positives if mot else 0,
+        "num_id_switches": mot.num_id_switches if mot else 0,
+        "num_ground_truth_boxes": mot.num_ground_truth_boxes if mot else 0,
+        "num_frames": total_frames,
+        "num_tracks": batch.total_tracks,
+        "latency_ms_per_frame": latency_ms,
+        "duty_active_fraction": batch.mean_duty_active_fraction,
+    }
+    return metrics
+
+
+def run_cell(
+    scenario: ScenarioSpec,
+    tracker: str,
+    recordings,
+    executor: str = "thread",
+    base_config: Optional[EbbiotConfig] = None,
+) -> Dict[str, object]:
+    """Run one (scenario, tracker) cell and pool its metrics."""
+    jobs = scenario_jobs(
+        scenario, tracker, recordings=recordings, base_config=base_config
+    )
+    runner = StreamRunner(RunnerConfig(executor=executor))
+    return cell_metrics(runner.run(jobs))
+
+
+def run_matrix(
+    matrix: MatrixSpec,
+    executor: str = "thread",
+    base_config: Optional[EbbiotConfig] = None,
+    config_overrides: Optional[Dict[str, object]] = None,
+    progress=None,
+) -> dict:
+    """Run every cell of a matrix and assemble the JSON report.
+
+    Parameters
+    ----------
+    matrix:
+        The (scenario x tracker) grid.
+    executor:
+        Runner executor for each cell's fleet (``"thread"`` default;
+        ``"serial"`` for debugging — results are identical either way).
+    base_config:
+        Pipeline config each scenario's declarations are layered onto.
+    config_overrides:
+        ``field=value`` perturbations applied on top of the base config
+        before the scenarios see it (the CLI's ``--set``); recorded in the
+        report so a perturbed report is never mistaken for a baseline.
+    progress:
+        Optional callable invoked with one status line per cell.
+    """
+    base = apply_config_overrides(
+        base_config or EbbiotConfig(), dict(config_overrides or {})
+    )
+    cells: Dict[str, Dict[str, object]] = {}
+    scenario_summaries = []
+    for scenario in matrix.scenario_specs():
+        scenario_summaries.append(scenario.summary())
+        recordings = build_scenario_recordings(scenario)
+        for tracker in matrix.trackers:
+            if progress is not None:
+                progress(f"  running {scenario.name}/{tracker} ...")
+            cells[f"{scenario.name}/{tracker}"] = run_cell(
+                scenario,
+                tracker,
+                recordings,
+                executor=executor,
+                base_config=base,
+            )
+    return {
+        "suite": SUITE_NAME,
+        "version": MATRIX_VERSION,
+        "matrix": matrix.name,
+        "config": {
+            "scenarios": scenario_summaries,
+            "trackers": list(matrix.trackers),
+            "num_scenes": matrix.num_scenes,
+            "duration_s": matrix.duration_s,
+            "overrides": {k: str(v) for k, v in (config_overrides or {}).items()},
+        },
+        "calibration": calibrate(),
+        "cells": cells,
+    }
+
+
+def format_cells(report: dict) -> str:
+    """Human-readable per-cell summary table."""
+    header = (
+        f"{'cell':<28} {'MOTA':>7} {'MOTP':>6} {'prec':>6} {'rec':>6} "
+        f"{'tracks':>7} {'ms/frame':>9} {'duty':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for key, m in report.get("cells", {}).items():
+        duty = m.get("duty_active_fraction")
+        duty_text = f"{duty:6.3f}" if duty is not None else f"{'—':>6}"
+        lines.append(
+            f"{key:<28} {m['mota']:>7.3f} {m['motp']:>6.3f} "
+            f"{m['precision']:>6.3f} {m['recall']:>6.3f} "
+            f"{m['num_tracks']:>7} {m['latency_ms_per_frame']:>9.2f} {duty_text}"
+        )
+    return "\n".join(lines)

@@ -74,6 +74,41 @@ class DutyCycleTrace:
         ]
 
 
+@dataclass(frozen=True)
+class DutyCycleSummary:
+    """Closed-form wake/sleep/energy accounting for a processed recording.
+
+    What a duty-cycled fleet run reports per recording: how long the
+    processor was awake, what fraction of wall-clock time that is, and the
+    implied energy figures from the Fig. 2 model.  Produced by
+    :meth:`DutyCycleModel.summarize`; attached to
+    :class:`~repro.runtime.aggregate.RecordingResult` when the pipeline
+    config carries a duty-cycle model.
+    """
+
+    num_frames: int
+    active_fraction: float
+    sleep_fraction: float
+    active_time_us: float
+    sleep_time_us: float
+    average_power_mw: float
+    energy_uj: float
+    power_saving_factor: float
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "num_frames": self.num_frames,
+            "active_fraction": self.active_fraction,
+            "sleep_fraction": self.sleep_fraction,
+            "active_time_us": self.active_time_us,
+            "sleep_time_us": self.sleep_time_us,
+            "average_power_mw": self.average_power_mw,
+            "energy_uj": self.energy_uj,
+            "power_saving_factor": self.power_saving_factor,
+        }
+
+
 @dataclass
 class DutyCycleModel:
     """Timing/energy model of the duty-cycled EBBIOT processor.
@@ -160,6 +195,27 @@ class DutyCycleModel:
             raise ValueError("battery capacity must be positive")
         hours = battery_capacity_mwh / self.average_power_mw()
         return hours / 24.0
+
+    def summarize(self, num_frames: int) -> DutyCycleSummary:
+        """Wake/sleep/energy summary for ``num_frames`` duty cycles.
+
+        Closed form (every cycle is identical), so fleet runs can report
+        duty statistics without materialising a :class:`DutyCycleTrace`.
+        Matches :meth:`simulate`: ``summarize(n).active_fraction`` equals
+        ``simulate(n).active_fraction()``.
+        """
+        if num_frames <= 0:
+            raise ValueError(f"num_frames must be positive, got {num_frames}")
+        return DutyCycleSummary(
+            num_frames=num_frames,
+            active_fraction=self.duty_cycle,
+            sleep_fraction=1.0 - self.duty_cycle,
+            active_time_us=num_frames * self.active_time_per_cycle_us,
+            sleep_time_us=num_frames * self.sleep_time_per_cycle_us,
+            average_power_mw=self.average_power_mw(),
+            energy_uj=num_frames * self.energy_per_cycle_uj(),
+            power_saving_factor=self.power_saving_factor(),
+        )
 
     # -- trace generation --------------------------------------------------------------
 

@@ -97,6 +97,44 @@ class TestCalibrationAndReport:
         assert load_report(str(tmp_path / "missing.json")) is None
 
 
+class TestCompareMetric:
+    def test_up_metric_regresses_on_drop_beyond_margin(self):
+        from repro.bench.compare import compare_metric
+
+        assert compare_metric("s", "m", 60.0, 100.0, tolerance=0.3).regressed
+        assert not compare_metric("s", "m", 71.0, 100.0, tolerance=0.3).regressed
+
+    def test_down_metric_regresses_on_rise_beyond_margin(self):
+        from repro.bench.compare import compare_metric
+
+        up = compare_metric("s", "m", 140.0, 100.0, tolerance=0.3, direction="down")
+        assert up.regressed
+        drop = compare_metric("s", "m", 10.0, 100.0, tolerance=0.3, direction="down")
+        assert not drop.regressed
+
+    def test_floor_makes_margin_absolute_near_zero(self):
+        from repro.bench.compare import compare_metric
+
+        relative = compare_metric("s", "m", -0.04, 0.01, tolerance=0.1)
+        assert relative.regressed  # margin 0.001: any real drop trips it
+        floored = compare_metric("s", "m", -0.04, 0.01, tolerance=0.1, floor=1.0)
+        assert not floored.regressed  # margin 0.1 absolute
+
+    def test_invalid_direction_and_tolerance_rejected(self):
+        from repro.bench.compare import compare_metric
+
+        with pytest.raises(ValueError, match="direction"):
+            compare_metric("s", "m", 1.0, 1.0, tolerance=0.1, direction="sideways")
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_metric("s", "m", 1.0, 1.0, tolerance=-0.1)
+
+    def test_zero_baseline_ratio_conventions(self):
+        from repro.bench.compare import compare_metric
+
+        assert compare_metric("s", "m", 0.0, 0.0, tolerance=0.1).ratio == 1.0
+        assert compare_metric("s", "m", 2.0, 0.0, tolerance=0.1).ratio == float("inf")
+
+
 class TestCompareReports:
     def test_no_regression_when_equal(self):
         report = make_report(

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.histogram_rpn import RegionProposal
-from repro.core.roe import RegionOfExclusion
+from repro.core.roe import RegionOfExclusion, rectangle_union_area
 from repro.utils.geometry import BoundingBox
 
 
@@ -74,3 +74,56 @@ class TestRegionOfExclusion:
     def test_zero_area_box_query(self):
         roe = RegionOfExclusion(boxes=[BoundingBox(0, 0, 10, 10)])
         assert roe.excluded_fraction(BoundingBox(1, 1, 0, 0)) == 0.0
+
+
+class TestOverlappingRoeBoxes:
+    """Regression tests: overlapping ROE boxes must not be double counted."""
+
+    def test_identical_boxes_cover_half_not_all(self):
+        # Two copies of the same half-covering box.  The old pairwise sum
+        # reported 1.0 (fully excluded); the true union coverage is 0.5.
+        half = BoundingBox(0, 0, 5, 10)
+        roe = RegionOfExclusion(boxes=[half, half])
+        assert roe.excluded_fraction(BoundingBox(0, 0, 10, 10)) == pytest.approx(0.5)
+        assert not roe.is_excluded(BoundingBox(0, 0, 10, 10))
+
+    def test_partially_overlapping_boxes(self):
+        # Boxes [0,6]x[0,10] and [4,10]x[0,10] over a 10x10 query: union
+        # covers the whole box (1.0); the pairwise sum would give 1.2
+        # before capping, hiding the over-count, so probe a query box where
+        # the difference is visible: [0,12]x[0,10] -> union 10/12.
+        roe = RegionOfExclusion(
+            boxes=[BoundingBox(0, 0, 6, 10), BoundingBox(4, 0, 6, 10)]
+        )
+        assert roe.excluded_fraction(BoundingBox(0, 0, 10, 10)) == pytest.approx(1.0)
+        assert roe.excluded_fraction(BoundingBox(0, 0, 12, 10)) == pytest.approx(10 / 12)
+
+    def test_nested_boxes(self):
+        outer = BoundingBox(0, 0, 10, 10)
+        inner = BoundingBox(2, 2, 4, 4)
+        roe = RegionOfExclusion(boxes=[outer, inner])
+        assert roe.excluded_fraction(BoundingBox(0, 0, 20, 10)) == pytest.approx(0.5)
+
+    def test_overcount_no_longer_flips_is_excluded(self):
+        # Three boxes stacked on the same 30% strip: summed intersections
+        # (90%) used to cross the 0.5 threshold; true union coverage (30%)
+        # must keep the proposal.
+        strip = BoundingBox(0, 0, 3, 10)
+        roe = RegionOfExclusion(boxes=[strip, strip, strip])
+        query = BoundingBox(0, 0, 10, 10)
+        assert roe.excluded_fraction(query) == pytest.approx(0.3)
+        assert not roe.is_excluded(query)
+
+    def test_disjoint_boxes_unchanged(self):
+        roe = RegionOfExclusion(
+            boxes=[BoundingBox(0, 0, 2, 10), BoundingBox(5, 0, 2, 10)]
+        )
+        assert roe.excluded_fraction(BoundingBox(0, 0, 10, 10)) == pytest.approx(0.4)
+
+    def test_rectangle_union_area_helper(self):
+        assert rectangle_union_area([]) == 0.0
+        a = BoundingBox(0, 0, 4, 4)
+        b = BoundingBox(2, 2, 4, 4)
+        assert rectangle_union_area([a]) == pytest.approx(16.0)
+        assert rectangle_union_area([a, b]) == pytest.approx(28.0)
+        assert rectangle_union_area([a, a, a]) == pytest.approx(16.0)
