@@ -168,6 +168,62 @@ def scenario_overlap_pipeline(profile: BenchProfile) -> Dict[str, float]:
     }
 
 
+def scenario_stage_breakdown(profile: BenchProfile) -> Dict[str, float]:
+    """Instrumented pipeline run: where the wall clock actually goes.
+
+    Runs the standard fleet through an *instrumented* overlap pipeline
+    (metrics accumulation only, no tracer) and reports each stage's share
+    of the total stage time plus the instrumented throughput.  The
+    ``overhead_vs_plain`` ratio — instrumented wall time over a back-to-
+    back uninstrumented run — guards the "zero cost when disabled, cheap
+    when enabled" contract; the per-stage shares make hot-spot drift
+    visible in bench artifacts over time.
+    """
+    from repro.obs import Instrumentation
+
+    recordings = _fleet(profile)
+    plain = _run_pipeline_fleet(recordings, "overlap")
+
+    stage_seconds: Dict[str, float] = {}
+    instrumented_wall_s = 0.0
+    total_frames = 0
+    total_events = 0
+    for recording in recordings:
+        instrumentation = Instrumentation()
+        pipeline = EbbiotPipeline(
+            EbbiotConfig(tracker="overlap"), instrumentation=instrumentation
+        )
+        started = time.perf_counter()
+        result = pipeline.process_stream(recording.stream, collect_frames=False)
+        instrumented_wall_s += time.perf_counter() - started
+        total_frames += result.num_frames
+        total_events += len(recording.stream)
+        for stage, seconds in instrumentation.stage_seconds.items():
+            stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
+
+    total_stage_s = sum(stage_seconds.values())
+    metrics: Dict[str, float] = {
+        "primary": "events_per_s",
+        "num_events": float(total_events),
+        "num_frames": float(total_frames),
+        "events_per_s": (
+            total_events / instrumented_wall_s if instrumented_wall_s else 0.0
+        ),
+        "frames_per_s": (
+            total_frames / instrumented_wall_s if instrumented_wall_s else 0.0
+        ),
+        "overhead_vs_plain": (
+            instrumented_wall_s / plain["wall_s"] if plain["wall_s"] else 0.0
+        ),
+    }
+    for stage, seconds in sorted(stage_seconds.items()):
+        metrics[f"stage_{stage}_s"] = seconds
+        metrics[f"stage_{stage}_share"] = (
+            seconds / total_stage_s if total_stage_s else 0.0
+        )
+    return metrics
+
+
 def _drive_sessions(recordings, batch_events: int = 20_000) -> Dict[str, float]:
     """Feed each recording through its own live session; aggregate rates."""
     sessions = [
@@ -257,6 +313,7 @@ SCENARIOS: Dict[str, Callable[[BenchProfile], Dict[str, float]]] = {
     "refractory": scenario_refractory,
     "ebms_pipeline": scenario_ebms_pipeline,
     "overlap_pipeline": scenario_overlap_pipeline,
+    "stage_breakdown": scenario_stage_breakdown,
     "serving": scenario_serving,
     "dataset_replay": scenario_dataset_replay,
 }

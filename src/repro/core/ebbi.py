@@ -214,6 +214,11 @@ class EbbiBuilder:
         consumes each frame before building the next and detaches anything
         it keeps) turns this on; the default stays allocate-per-call for
         API compatibility.
+
+    An optional :class:`repro.obs.Instrumentation` can be attached as the
+    ``instrumentation`` attribute; :meth:`build` then times accumulation
+    and filtering as the ``ebbi`` and ``median`` stages.  With the default
+    ``None`` the build path is untouched.
     """
 
     def __init__(
@@ -233,9 +238,43 @@ class EbbiBuilder:
         self.height = height
         self.median_patch_size = median_patch_size
         self.reuse_buffers = reuse_buffers
+        self.instrumentation = None
         self._scratch = EbbiScratch() if reuse_buffers else None
         self._frames_built = 0
         self._total_active_fraction = 0.0
+
+    def _accumulate_window(self, events: np.ndarray) -> np.ndarray:
+        """Raw accumulation for one window (the ``ebbi`` stage)."""
+        if self._scratch is not None:
+            raw_stack, _ = self._scratch.stacks(1, self.height, self.width)
+            return events_to_binary_frame_batch(
+                events,
+                np.array([0, len(events)], dtype=np.int64),
+                self.width,
+                self.height,
+                out=raw_stack,
+            )[0]
+        return events_to_binary_frame(events, self.width, self.height)
+
+    def _filter_window(self, raw: np.ndarray) -> np.ndarray:
+        """Median filtering for one window (the ``median`` stage)."""
+        if self._scratch is not None:
+            raw_stack, filtered_stack = self._scratch.stacks(
+                1, self.height, self.width
+            )
+            if self.median_patch_size in (0, 1):
+                np.greater(raw_stack, 0, out=filtered_stack)
+            else:
+                binary_median_filter_stack(
+                    raw_stack,
+                    self.median_patch_size,
+                    out=filtered_stack,
+                    scratch=self._scratch.median,
+                )
+            return filtered_stack[0]
+        if self.median_patch_size in (0, 1):
+            return raw.copy()
+        return binary_median_filter(raw, self.median_patch_size)
 
     def build(
         self, events: np.ndarray, t_start_us: int, t_end_us: int
@@ -247,33 +286,15 @@ class EbbiBuilder:
         allocates nothing; the returned frames are views into the scratch
         (their ``base`` is set, so ``detached()`` knows to copy).
         """
-        if self._scratch is not None:
-            raw_stack, filtered_stack = self._scratch.stacks(
-                1, self.height, self.width
-            )
-            raw = events_to_binary_frame_batch(
-                events,
-                np.array([0, len(events)], dtype=np.int64),
-                self.width,
-                self.height,
-                out=raw_stack,
-            )[0]
-            if self.median_patch_size in (0, 1):
-                np.greater(raw_stack, 0, out=filtered_stack)
-            else:
-                binary_median_filter_stack(
-                    raw_stack,
-                    self.median_patch_size,
-                    out=filtered_stack,
-                    scratch=self._scratch.median,
-                )
-            filtered = filtered_stack[0]
+        instrumentation = self.instrumentation
+        if instrumentation is None:
+            raw = self._accumulate_window(events)
+            filtered = self._filter_window(raw)
         else:
-            raw = events_to_binary_frame(events, self.width, self.height)
-            if self.median_patch_size in (0, 1):
-                filtered = raw.copy()
-            else:
-                filtered = binary_median_filter(raw, self.median_patch_size)
+            with instrumentation.stage("ebbi"):
+                raw = self._accumulate_window(events)
+            with instrumentation.stage("median"):
+                filtered = self._filter_window(raw)
         self._frames_built += 1
         self._total_active_fraction += raw.sum() / raw.size
         return EbbiFrames(

@@ -133,6 +133,14 @@ class EbbiotPipeline:
         Optional override of ``config.tracker``: a registry name or a ready
         :class:`~repro.trackers.backend.TrackerBackend` instance (tests and
         experiments inject custom trackers this way).
+    instrumentation:
+        Optional :class:`repro.obs.Instrumentation`.  When attached, every
+        frame window is wrapped in a ``frame`` span and each stage (``ebbi``,
+        ``median``, ``rpn``, ``roe``, ``tracker`` — proposal-free backends
+        skip ``rpn``/``roe``) is timed into it; ``process_stream`` switches
+        from chunked EBBI batching to per-window building so the spans
+        reflect true per-window cost.  With the default ``None`` the hot
+        path is byte-identical to the uninstrumented pipeline.
     """
 
     def __init__(
@@ -140,6 +148,7 @@ class EbbiotPipeline:
         config: Optional[EbbiotConfig] = None,
         keep_frames: bool = False,
         tracker: Optional[Union[str, TrackerBackend]] = None,
+        instrumentation=None,
     ) -> None:
         # Deferred import: the registry's backends transitively import the
         # core package, which imports this module.
@@ -160,6 +169,7 @@ class EbbiotPipeline:
         self.tracker: TrackerBackend = create_backend(
             tracker if tracker is not None else self.config.tracker, self.config
         )
+        self.instrumentation = instrumentation
         self.ebbi_builder = self._make_ebbi_builder()
         self._total_events = 0
         self._frames_processed = 0
@@ -181,9 +191,11 @@ class EbbiotPipeline:
         patch_size = (
             self.config.median_patch_size if self.tracker.requires_proposals else 0
         )
-        return EbbiBuilder(
+        builder = EbbiBuilder(
             self.config.width, self.config.height, patch_size, reuse_buffers=True
         )
+        builder.instrumentation = self.instrumentation
+        return builder
 
     @property
     def backend_name(self) -> str:
@@ -196,8 +208,56 @@ class EbbiotPipeline:
         self, events: np.ndarray, t_start_us: int, t_end_us: int, frame_index: int = 0
     ) -> FrameResult:
         """Process one accumulation window of events through all stages."""
-        ebbi = self.ebbi_builder.build(events, t_start_us, t_end_us)
-        return self._process_built_frame(ebbi, frame_index, events)
+        instrumentation = self.instrumentation
+        if instrumentation is None:
+            ebbi = self.ebbi_builder.build(events, t_start_us, t_end_us)
+            return self._process_built_frame(ebbi, frame_index, events)
+        with instrumentation.frame(frame_index, t_start_us, t_end_us, len(events)):
+            ebbi = self.ebbi_builder.build(events, t_start_us, t_end_us)
+            return self._process_built_frame_instrumented(
+                ebbi, frame_index, events, instrumentation
+            )
+
+    def _propose_regions(self, ebbi: EbbiFrames) -> List[RegionProposal]:
+        """The RPN stage: histogram proposals + minimum-area filter."""
+        proposals = self.region_proposer.propose(ebbi.filtered)
+        return [p for p in proposals if p.box.area >= self.config.min_proposal_area]
+
+    def _step_tracker(
+        self,
+        ebbi: EbbiFrames,
+        proposals: List[RegionProposal],
+        events: Optional[np.ndarray],
+    ) -> List[TrackObservation]:
+        """The tracker stage: one backend step over this window."""
+        return self.tracker.step(
+            TrackerFrame(
+                proposals=proposals,
+                events=events,
+                t_start_us=ebbi.t_start_us,
+                t_end_us=ebbi.t_end_us,
+            )
+        )
+
+    def _finish_frame(
+        self,
+        ebbi: EbbiFrames,
+        frame_index: int,
+        proposals: List[RegionProposal],
+        tracks: List[TrackObservation],
+    ) -> FrameResult:
+        """Update counters and assemble the window's :class:`FrameResult`."""
+        self._total_events += ebbi.num_events
+        self._frames_processed += 1
+        return FrameResult(
+            frame_index=frame_index,
+            t_start_us=ebbi.t_start_us,
+            t_end_us=ebbi.t_end_us,
+            num_events=ebbi.num_events,
+            proposals=proposals,
+            tracks=tracks,
+            ebbi=ebbi.detached() if self.keep_frames else None,
+        )
 
     def _process_built_frame(
         self,
@@ -212,32 +272,30 @@ class EbbiotPipeline:
         (``not requires_proposals``) skip the RPN + ROE stages entirely.
         """
         if self.tracker.requires_proposals:
-            proposals = self.region_proposer.propose(ebbi.filtered)
-            proposals = [
-                p for p in proposals if p.box.area >= self.config.min_proposal_area
-            ]
-            proposals = self.roe.filter_proposals(proposals)
+            proposals = self.roe.filter_proposals(self._propose_regions(ebbi))
         else:
             proposals = []
-        tracks = self.tracker.step(
-            TrackerFrame(
-                proposals=proposals,
-                events=events,
-                t_start_us=ebbi.t_start_us,
-                t_end_us=ebbi.t_end_us,
-            )
-        )
-        self._total_events += ebbi.num_events
-        self._frames_processed += 1
-        return FrameResult(
-            frame_index=frame_index,
-            t_start_us=ebbi.t_start_us,
-            t_end_us=ebbi.t_end_us,
-            num_events=ebbi.num_events,
-            proposals=proposals,
-            tracks=tracks,
-            ebbi=ebbi.detached() if self.keep_frames else None,
-        )
+        tracks = self._step_tracker(ebbi, proposals, events)
+        return self._finish_frame(ebbi, frame_index, proposals, tracks)
+
+    def _process_built_frame_instrumented(
+        self,
+        ebbi: EbbiFrames,
+        frame_index: int,
+        events: Optional[np.ndarray],
+        instrumentation,
+    ) -> FrameResult:
+        """:meth:`_process_built_frame` with per-stage timing."""
+        if self.tracker.requires_proposals:
+            with instrumentation.stage("rpn"):
+                proposals = self._propose_regions(ebbi)
+            with instrumentation.stage("roe"):
+                proposals = self.roe.filter_proposals(proposals)
+        else:
+            proposals = []
+        with instrumentation.stage("tracker"):
+            tracks = self._step_tracker(ebbi, proposals, events)
+        return self._finish_frame(ebbi, frame_index, proposals, tracks)
 
     # -- whole-recording processing -------------------------------------------------------
 
@@ -278,6 +336,25 @@ class EbbiotPipeline:
         self.reset()
         result = PipelineResult()
         index = stream.frame_index(self.config.frame_duration_us, align_to_zero)
+        if self.instrumentation is not None:
+            # Per-window building, so the ebbi/median spans reflect each
+            # window's true cost instead of an amortised chunk share.
+            for frame_index in range(index.num_frames):
+                lo = index.splits[frame_index]
+                hi = index.splits[frame_index + 1]
+                frame_result = self.process_frame_events(
+                    index.events[lo:hi],
+                    int(index.starts[frame_index]),
+                    int(index.ends[frame_index]),
+                    frame_index,
+                )
+                result.add_frame(frame_result, keep=collect_frames)
+            result.mean_active_pixel_fraction = (
+                self.ebbi_builder.mean_active_pixel_fraction
+            )
+            result.mean_events_per_frame = self.mean_events_per_frame
+            result.mean_active_trackers = self.tracker.mean_active_trackers
+            return result
         for chunk_start in range(0, index.num_frames, chunk_frames):
             chunk_stop = min(chunk_start + chunk_frames, index.num_frames)
             batch = self.ebbi_builder.build_batch(

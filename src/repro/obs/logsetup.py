@@ -1,0 +1,50 @@
+"""Structured logging setup shared by the CLIs.
+
+``logging_setup("debug")`` configures the root logger with a single
+stderr handler and a consistent format; every ``python -m repro.*`` entry
+point exposes it as ``--log-level`` (via :func:`add_log_level_argument`).
+Library modules just do ``logger = logging.getLogger(__name__)`` and log —
+configuration is strictly the entry point's job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+from typing import Dict
+
+#: CLI-friendly level names.
+LOG_LEVELS: Dict[str, int] = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+DEFAULT_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+
+
+def logging_setup(level: str = "info") -> None:
+    """Configure root logging to stderr at ``level``.
+
+    Uses ``force=True`` so repeated calls (long-lived processes, test
+    suites invoking several ``main()``\\ s) rebind the handler to the
+    *current* ``sys.stderr`` rather than a captured stale stream.
+    """
+    try:
+        numeric = LOG_LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r} (choose from {sorted(LOG_LEVELS)})"
+        ) from None
+    logging.basicConfig(level=numeric, format=DEFAULT_FORMAT, force=True)
+
+
+def add_log_level_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--log-level`` option to a CLI parser."""
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=sorted(LOG_LEVELS),
+        help="logging verbosity (default: info)",
+    )

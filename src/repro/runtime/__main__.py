@@ -25,18 +25,28 @@ Replay a recorded, manifest-backed dataset from disk instead of rendering
 (export one with ``python -m repro.datasets export``)::
 
     PYTHONPATH=src python -m repro.runtime --dataset dataset/
+
+Profile where the budget goes — write a Chrome trace (open it in
+``chrome://tracing`` or https://ui.perfetto.dev) and a Prometheus metrics
+snapshot, and print the per-stage cost table::
+
+    PYTHONPATH=src python -m repro.runtime --scenes 2 --trace trace.json \\
+        --metrics metrics.prom
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import sys
+import logging
 from typing import List, Optional
 
+from repro.obs import add_log_level_argument, logging_setup
 from repro.runtime.runner import EXECUTORS, RunnerConfig, StreamRunner
 from repro.runtime.scenes import build_scene_jobs, jobs_from_manifest
 from repro.trackers.registry import available_backends, parse_backend_list
+
+logger = logging.getLogger("repro.runtime")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,17 +116,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the full result as JSON ('-' for stdout)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a Chrome trace-event JSON (one span per pipeline stage "
+            "per frame window, one pid per recording; open in "
+            "chrome://tracing or Perfetto); implies --instrument"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a Prometheus text-exposition metrics snapshot of the "
+            "run ('-' for stdout)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="trace every Nth frame window (default 1 = all windows)",
+    )
+    parser.add_argument(
+        "--instrument",
+        action="store_true",
+        help=(
+            "collect the per-stage wall-clock breakdown (printed as a table "
+            "and added to the JSON result) without writing a trace"
+        ),
+    )
+    add_log_level_argument(parser)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Render the fleet, run it, print the report.  Returns the exit code."""
     args = build_parser().parse_args(argv)
+    logging_setup(args.log_level)
     if args.dataset is None and args.scenes <= 0:
-        print("error: --scenes must be positive", file=sys.stderr)
+        logger.error("error: --scenes must be positive")
         return 2
     if args.dataset is None and args.duration <= 0:
-        print("error: --duration must be positive", file=sys.stderr)
+        logger.error("error: --duration must be positive")
         return 2
     try:
         trackers = parse_backend_list(args.tracker)
@@ -124,16 +170,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             executor=args.executor,
             max_workers=args.workers,
             chunk_frames=args.chunk_frames,
+            instrument=args.instrument or args.metrics is not None,
+            trace=args.trace is not None,
+            trace_sample_every=args.trace_sample,
         )
     except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
+        logger.error("error: %s", error)
         return 2
 
     if args.dataset is not None:
         try:
             jobs = jobs_from_manifest(args.dataset, trackers=trackers)
         except (FileNotFoundError, ValueError) as error:
-            print(f"error: {error}", file=sys.stderr)
+            logger.error("error: %s", error)
             return 2
         total_events = sum(len(job.stream) for job in jobs)
         print(
@@ -163,6 +212,26 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     print()
     print(batch.format_table())
+    if runner_config.instrument or runner_config.trace:
+        print()
+        print(batch.format_stage_table())
+
+    if args.trace is not None:
+        trace = batch.chrome_trace()
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle)
+            handle.write("\n")
+        num_spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+        print(f"wrote Chrome trace ({num_spans} spans) to {args.trace}")
+
+    if args.metrics is not None:
+        exposition = batch.metrics_registry().to_prometheus_text()
+        if args.metrics == "-":
+            print(exposition, end="")
+        else:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(exposition)
+            print(f"wrote metrics exposition to {args.metrics}")
 
     if args.json is not None:
         payload = json.dumps(batch.to_dict(), indent=2)

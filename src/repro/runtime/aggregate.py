@@ -82,6 +82,16 @@ class RecordingResult:
         Wake/sleep/energy summary of the duty-cycled processor, when the
         job's pipeline config carried a
         :class:`~repro.sensor.duty_cycle.DutyCycleModel`.
+    stage_seconds:
+        Cumulative wall-clock seconds per pipeline stage (``ebbi`` /
+        ``median`` / ``rpn`` / ``roe`` / ``tracker``), present only when the
+        runner was instrumented.  A plain dict so it survives pickling
+        across process executors.
+    trace_events:
+        Chrome trace-event dicts for this recording, present only when the
+        runner ran with tracing; deliberately excluded from
+        :meth:`to_dict` (traces are written as their own artifact, not
+        embedded in result JSON).
     """
 
     name: str
@@ -98,6 +108,8 @@ class RecordingResult:
     mot: Optional[MotSummary] = None
     tracker: str = "overlap"
     duty: Optional[DutyCycleSummary] = None
+    stage_seconds: Optional[Dict[str, float]] = None
+    trace_events: Optional[List[dict]] = None
 
     @property
     def events_per_second(self) -> float:
@@ -115,7 +127,7 @@ class RecordingResult:
 
     def to_dict(self) -> dict:
         """JSON-serialisable representation."""
-        return {
+        payload = {
             "name": self.name,
             "tracker": self.tracker,
             "num_events": self.num_events,
@@ -133,6 +145,11 @@ class RecordingResult:
             "mot": self.mot.to_dict() if self.mot is not None else None,
             "duty": self.duty.to_dict() if self.duty is not None else None,
         }
+        # Only instrumented runs grow the document — uninstrumented result
+        # JSON stays byte-compatible with earlier releases.
+        if self.stage_seconds is not None:
+            payload["stage_seconds"] = dict(sorted(self.stage_seconds.items()))
+        return payload
 
 
 @dataclass
@@ -231,6 +248,104 @@ class BatchResult:
             / total
         )
 
+    # -- observability ------------------------------------------------------------------
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Fleet-wide per-stage wall-clock seconds (instrumented runs only).
+
+        Sums the ``stage_seconds`` of every recording that carries one;
+        empty when the runner was not instrumented.
+        """
+        totals: Dict[str, float] = {}
+        for recording in self.recordings:
+            if recording.stage_seconds:
+                for stage, seconds in recording.stage_seconds.items():
+                    totals[stage] = totals.get(stage, 0.0) + seconds
+        return dict(sorted(totals.items()))
+
+    def chrome_trace(self) -> Optional[dict]:
+        """Merged Chrome trace over all traced recordings (one pid each).
+
+        ``None`` when no recording carries trace events (untraced run).
+        """
+        tracks = [
+            (r.name, r.trace_events)
+            for r in self.recordings
+            if r.trace_events is not None
+        ]
+        if not tracks:
+            return None
+        from repro.obs import merge_chrome_traces
+
+        return merge_chrome_traces(tracks)
+
+    def metrics_registry(self):
+        """A :class:`repro.obs.MetricsRegistry` snapshot of this batch.
+
+        Per-recording event/frame/track counters and wall-clock gauges,
+        plus — for instrumented runs — the per-stage seconds counter under
+        its standard ``repro_pipeline_stage_seconds_total`` name.  Built on
+        demand so uninstrumented callers never touch :mod:`repro.obs`.
+        """
+        from repro.obs import STAGE_SECONDS_METRIC, MetricsRegistry
+
+        registry = MetricsRegistry()
+        events = registry.counter(
+            "repro_recording_events_total",
+            "Events processed per recording.",
+            labelnames=("recording", "tracker"),
+        )
+        frames = registry.counter(
+            "repro_recording_frames_total",
+            "Frame windows processed per recording.",
+            labelnames=("recording", "tracker"),
+        )
+        tracks = registry.counter(
+            "repro_recording_tracks_total",
+            "Distinct tracks reported per recording.",
+            labelnames=("recording", "tracker"),
+        )
+        wall = registry.gauge(
+            "repro_recording_wall_seconds",
+            "Pipeline wall-clock seconds per recording.",
+            labelnames=("recording", "tracker"),
+        )
+        stage_counter = None
+        for recording in self.recordings:
+            labels = {"recording": recording.name, "tracker": recording.tracker}
+            events.labels(**labels).inc(recording.num_events)
+            frames.labels(**labels).inc(recording.num_frames)
+            tracks.labels(**labels).inc(recording.num_tracks)
+            wall.labels(**labels).set(recording.wall_time_s)
+            if recording.stage_seconds:
+                if stage_counter is None:
+                    stage_counter = registry.counter(
+                        STAGE_SECONDS_METRIC,
+                        "Cumulative wall-clock seconds spent per pipeline stage.",
+                        labelnames=("recording", "stage"),
+                    )
+                for stage, seconds in recording.stage_seconds.items():
+                    stage_counter.labels(
+                        recording=recording.name, stage=stage
+                    ).inc(seconds)
+        return registry
+
+    def format_stage_table(self) -> str:
+        """Per-stage cost breakdown table (instrumented runs only)."""
+        totals = self.stage_seconds()
+        if not totals:
+            return "no stage breakdown (run with --trace or instrument=True)"
+        grand_total = sum(totals.values()) or 1.0
+        header = f"{'stage':<10} {'seconds':>10} {'share':>7}"
+        lines = [header, "-" * len(header)]
+        for stage, seconds in sorted(
+            totals.items(), key=lambda item: item[1], reverse=True
+        ):
+            lines.append(
+                f"{stage:<10} {seconds:>10.4f} {seconds / grand_total:>6.1%}"
+            )
+        return "\n".join(lines)
+
     # -- per-backend aggregation --------------------------------------------------------
 
     @property
@@ -257,9 +372,13 @@ class BatchResult:
     # -- reporting ----------------------------------------------------------------------
 
     def fleet_summary(self) -> Dict[str, object]:
-        """JSON-serialisable fleet-level statistics."""
+        """JSON-serialisable fleet-level statistics.
+
+        Instrumented runs additionally carry a ``stage_seconds`` map;
+        uninstrumented output keeps the historical key set exactly.
+        """
         mot = self.mot
-        return {
+        summary = {
             "num_recordings": len(self.recordings),
             "trackers": self.trackers,
             "total_events": self.total_events,
@@ -274,6 +393,10 @@ class BatchResult:
             "mean_duty_active_fraction": self.mean_duty_active_fraction,
             "mot": mot.to_dict() if mot is not None else None,
         }
+        stage_totals = self.stage_seconds()
+        if stage_totals:
+            summary["stage_seconds"] = stage_totals
+        return summary
 
     def to_dict(self) -> dict:
         """JSON-serialisable representation (per-recording + fleet + backends).

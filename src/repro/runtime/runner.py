@@ -87,6 +87,18 @@ class RunnerConfig:
     mot_iou_threshold:
         IoU threshold of the CLEAR-MOT evaluation run for jobs with ground
         truth.
+    instrument:
+        Attach a per-job :class:`repro.obs.Instrumentation` so each
+        recording's result carries its ``stage_seconds`` breakdown.  Runs
+        the per-window (unchunked) pipeline path — measurably slower, so
+        off by default.
+    trace:
+        Additionally record one Chrome trace-event span per stage per frame
+        window into each recording's ``trace_events`` (implies
+        ``instrument``).
+    trace_sample_every:
+        Trace every Nth frame window (1 = all windows); thins the trace of
+        long recordings without affecting the ``stage_seconds`` totals.
     """
 
     executor: str = "thread"
@@ -95,6 +107,9 @@ class RunnerConfig:
     pipeline_config: EbbiotConfig = field(default_factory=EbbiotConfig)
     align_to_zero: bool = True
     mot_iou_threshold: float = 0.3
+    instrument: bool = False
+    trace: bool = False
+    trace_sample_every: int = 1
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -105,6 +120,10 @@ class RunnerConfig:
             raise ValueError(f"max_workers must be positive, got {self.max_workers}")
         if self.chunk_frames <= 0:
             raise ValueError(f"chunk_frames must be positive, got {self.chunk_frames}")
+        if self.trace_sample_every < 1:
+            raise ValueError(
+                f"trace_sample_every must be >= 1, got {self.trace_sample_every}"
+            )
 
     def resolved_max_workers(self, num_jobs: int) -> int:
         """Worker count actually used for ``num_jobs`` jobs."""
@@ -118,10 +137,22 @@ def run_recording(job: RecordingJob, config: RunnerConfig) -> RecordingResult:
 
     Module-level (rather than a method) so the process executor can pickle
     it; builds a fresh pipeline per call, so concurrent invocations share
-    nothing.
+    nothing.  Instrumentation is likewise per call — the tracer and
+    accumulators never cross a process boundary, only their plain-dict
+    snapshots on the result do.
     """
     pipeline_config = job.config or config.pipeline_config
-    pipeline = EbbiotPipeline(pipeline_config)
+    instrumentation = None
+    tracer = None
+    if config.instrument or config.trace:
+        from repro.obs import Instrumentation, Tracer
+
+        if config.trace:
+            tracer = Tracer()
+        instrumentation = Instrumentation(
+            tracer=tracer, sample_every=config.trace_sample_every
+        )
+    pipeline = EbbiotPipeline(pipeline_config, instrumentation=instrumentation)
     started = time.perf_counter()
     result: PipelineResult = pipeline.process_stream(
         job.stream,
@@ -155,6 +186,10 @@ def run_recording(job: RecordingJob, config: RunnerConfig) -> RecordingResult:
         mot=mot,
         tracker=pipeline.backend_name,
         duty=duty,
+        stage_seconds=(
+            instrumentation.snapshot() if instrumentation is not None else None
+        ),
+        trace_events=tracer.events() if tracer is not None else None,
     )
 
 

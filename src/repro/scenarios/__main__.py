@@ -13,10 +13,11 @@ from __future__ import annotations
 
 import argparse
 import json
-import sys
+import logging
 from typing import Dict, List, Optional
 
 from repro.bench.harness import dump_report, load_report
+from repro.obs import add_log_level_argument, logging_setup
 from repro.runtime.runner import EXECUTORS
 from repro.scenarios.compare import compare_quality_reports, missing_cells
 from repro.scenarios.library import MATRICES, SCENARIO_LIBRARY
@@ -28,6 +29,8 @@ DEFAULT_OUTPUTS = {
     "full": "QUALITY_scenario_matrix.json",
     "quick": "QUALITY_scenario_matrix_quick.json",
 }
+
+logger = logging.getLogger("repro.scenarios")
 
 
 def parse_overrides(pairs: List[str]) -> Dict[str, str]:
@@ -111,7 +114,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list matrices and scenarios, then exit"
     )
+    add_log_level_argument(parser)
     args = parser.parse_args(argv)
+    logging_setup(args.log_level)
 
     if args.list:
         for name, matrix in MATRICES.items():
@@ -126,17 +131,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.quick and args.matrix not in (None, "quick"):
-        print(
-            f"error: --quick conflicts with --matrix {args.matrix}",
-            file=sys.stderr,
-        )
+        logger.error("error: --quick conflicts with --matrix %s", args.matrix)
         return 2
     matrix = MATRICES[args.matrix or ("quick" if args.quick else "full")]
 
     try:
         overrides = parse_overrides(args.overrides)
     except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
+        logger.error("error: %s", error)
         return 2
 
     if args.output is None:
@@ -158,7 +160,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             progress=lambda line: print(line, flush=True),
         )
     except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
+        logger.error("error: %s", error)
         return 2
 
     print()
@@ -174,7 +176,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 latency_tolerance=args.latency_tolerance,
             )
         except ValueError as error:
-            print(f"error: {error}", file=sys.stderr)
+            logger.error("error: %s", error)
             return 2
         missing = missing_cells(report, baseline)
         if comparisons or missing:
@@ -191,10 +193,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.check and missing:
                 # Coverage loss outranks a metric regression: exit 2, like
                 # the other "the gate could not actually gate" conditions.
-                print(
-                    "error: baseline cell(s) missing from this run: "
-                    + ", ".join(missing),
-                    file=sys.stderr,
+                logger.error(
+                    "error: baseline cell(s) missing from this run: %s",
+                    ", ".join(missing),
                 )
                 exit_code = 2
             elif args.check and any(c.regressed for c in comparisons):
@@ -203,16 +204,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             # A gate with nothing to compare is not a passing gate: a
             # renamed baseline or matrix would otherwise silently disable
             # the quality check while CI stays green.
-            print(
-                f"error: --check found nothing comparable in baseline "
-                f"{baseline_path}",
-                file=sys.stderr,
+            logger.error(
+                "error: --check found nothing comparable in baseline %s",
+                baseline_path,
             )
             exit_code = 2
     elif args.check:
-        print(
-            f"error: --check requested but no baseline found at {baseline_path}",
-            file=sys.stderr,
+        logger.error(
+            "error: --check requested but no baseline found at %s", baseline_path
         )
         exit_code = 2
 

@@ -12,7 +12,8 @@ into IoVT infrastructure, tracked online.
 * :mod:`repro.serving.hub` — :class:`TrackingHub` shards sessions across
   worker threads with bounded queues and explicit backpressure.
 * :mod:`repro.serving.telemetry` — per-sensor event rates, frame latency
-  percentiles, queue depth and drop counts, exportable as JSON.
+  percentiles, queue depth and drop counts, exportable as JSON or
+  Prometheus text exposition (built on :mod:`repro.obs`).
 * :mod:`repro.serving.protocol` / ``server`` / ``client`` — a JSONL
   line-protocol TCP transport.
 * ``python -m repro.serving`` — live demo (in-process server + N synthetic
@@ -20,7 +21,12 @@ into IoVT infrastructure, tracked online.
   repro.runtime`` for batch.
 """
 
-from repro.serving.client import SensorClient, stream_recording
+from repro.serving.client import (
+    SensorClient,
+    fetch_trace,
+    scrape_metrics,
+    stream_recording,
+)
 from repro.serving.framer import ClosedWindow, OnlineFramer
 from repro.serving.hub import BACKPRESSURE_POLICIES, HubConfig, TrackingHub
 from repro.serving.protocol import (
@@ -28,6 +34,8 @@ from repro.serving.protocol import (
     ProtocolError,
     decode_message,
     encode_message,
+    metrics_message,
+    trace_message,
 )
 from repro.serving.server import TrackingServer
 from repro.serving.session import SensorSession, SessionSnapshot
@@ -47,8 +55,12 @@ __all__ = [
     "TrackingServer",
     "SensorClient",
     "stream_recording",
+    "scrape_metrics",
+    "fetch_trace",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "encode_message",
     "decode_message",
+    "metrics_message",
+    "trace_message",
 ]

@@ -23,22 +23,31 @@ Replay a recorded manifest-backed dataset from disk as the demo's sensors,
 paced at twice sensor speed::
 
     PYTHONPATH=src python -m repro.serving --dataset dataset/ --speed 2
+
+Profile a demo fleet: per-stage cost into the telemetry metrics and a
+Perfetto-loadable Chrome trace::
+
+    PYTHONPATH=src python -m repro.serving --sensors 2 --trace trace.json \\
+        --metrics metrics.prom
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import sys
+import logging
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional
 
 from repro.core.config import EbbiotConfig
+from repro.obs import add_log_level_argument, logging_setup
 from repro.runtime.scenes import build_scene_recordings
 from repro.serving.client import stream_recording
 from repro.serving.hub import BACKPRESSURE_POLICIES, HubConfig
 from repro.serving.server import TrackingServer
 from repro.trackers.registry import available_backends, parse_backend_list
+
+logger = logging.getLogger("repro.serving")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,12 +154,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="demo: write the telemetry registry snapshot as JSON",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help=(
+            "demo: write the hub's Prometheus text exposition after the run "
+            "('-' for stdout); implies --instrument"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "demo: write a Chrome trace-event JSON of per-stage pipeline "
+            "spans (load in Perfetto / chrome://tracing); implies --instrument"
+        ),
+    )
+    parser.add_argument(
+        "--instrument",
+        action="store_true",
+        help="record per-stage timing into the hub's metrics and trace",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="record trace spans for every Nth frame window (default: every)",
+    )
+    add_log_level_argument(parser)
     return parser
 
 
 def _trackers(args: argparse.Namespace) -> List[str]:
     """The validated backend list from ``--tracker`` (first = server default)."""
     return parse_backend_list(args.tracker)
+
+
+def _instrumented(args: argparse.Namespace) -> bool:
+    return args.instrument or args.metrics is not None or args.trace is not None
 
 
 def _hub_config(args: argparse.Namespace) -> HubConfig:
@@ -160,6 +204,8 @@ def _hub_config(args: argparse.Namespace) -> HubConfig:
         backpressure=args.backpressure,
         reorder_slack_us=args.slack_us,
         pipeline_config=EbbiotConfig(tracker=_trackers(args)[0]),
+        instrument=_instrumented(args),
+        trace_sample_every=args.trace_sample,
     )
 
 
@@ -193,7 +239,7 @@ def run_demo(args: argparse.Namespace) -> int:
     try:
         recordings = _demo_recordings(args)
     except (FileNotFoundError, ValueError) as error:
-        print(f"error: {error}", file=sys.stderr)
+        logger.error("error: %s", error)
         return 2
     trackers = _trackers(args)
     with TrackingServer(args.host, args.port, _hub_config(args)) as server:
@@ -220,6 +266,8 @@ def run_demo(args: argparse.Namespace) -> int:
             outcomes = [future.result() for future in futures]
         telemetry = server.hub.telemetry.to_dict()
         batch = server.hub.batch_result()
+        exposition = server.hub.metrics_text() if args.metrics is not None else None
+        trace = server.hub.chrome_trace() if args.trace is not None else None
 
     total_frames = sum(len(frames) for frames, _ in outcomes)
     print()
@@ -244,9 +292,22 @@ def run_demo(args: argparse.Namespace) -> int:
         with open(args.telemetry_json, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(telemetry, indent=2) + "\n")
         print(f"wrote telemetry to {args.telemetry_json}")
+    if exposition is not None:
+        if args.metrics == "-":
+            print(exposition, end="")
+        else:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(exposition)
+            print(f"wrote Prometheus exposition to {args.metrics}")
+    if trace is not None:
+        num_spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle)
+            handle.write("\n")
+        print(f"wrote Chrome trace ({num_spans} spans) to {args.trace}")
 
     if total_frames == 0:
-        print("error: no frames were received from the server", file=sys.stderr)
+        logger.error("no frames were received from the server")
         return 1
     return 0
 
@@ -267,22 +328,23 @@ def run_server(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and run the selected mode.  Returns the exit code."""
     args = build_parser().parse_args(argv)
+    logging_setup(args.log_level)
     if args.sensors <= 0:
-        print("error: --sensors must be positive", file=sys.stderr)
+        logger.error("error: --sensors must be positive")
         return 2
     if args.duration <= 0:
-        print("error: --duration must be positive", file=sys.stderr)
+        logger.error("error: --duration must be positive")
         return 2
     if args.batch_us <= 0:
-        print("error: --batch-us must be positive", file=sys.stderr)
+        logger.error("error: --batch-us must be positive")
         return 2
     if args.speed is not None and args.speed <= 0:
-        print("error: --speed must be positive", file=sys.stderr)
+        logger.error("error: --speed must be positive")
         return 2
     try:
         _hub_config(args)
     except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
+        logger.error("error: %s", error)
         return 2
     if args.serve:
         return run_server(args)

@@ -121,6 +121,16 @@ class SensorClient:
         self._send({"type": "stats"})
         return self._await_reply("stats")["telemetry"]
 
+    def request_metrics(self) -> str:
+        """Fetch the server's metrics as Prometheus text exposition."""
+        self._send({"type": "metrics"})
+        return self._await_reply("metrics")["exposition"]
+
+    def request_trace(self) -> Optional[dict]:
+        """Fetch the server's Chrome trace (``None`` if not instrumented)."""
+        self._send({"type": "trace"})
+        return self._await_reply("trace")["trace"]
+
     def finish(self) -> dict:
         """Declare end of stream; returns the server's recording summary."""
         self._send({"type": "finish"})
@@ -139,6 +149,41 @@ class SensorClient:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def _monitoring_request(host: str, port: int, kind: str, timeout_s: float) -> dict:
+    """One-shot monitoring exchange: connect, ask, read one reply, hang up.
+
+    No ``hello`` — the ``metrics``/``trace`` commands are exempt from the
+    sensor handshake, so a scraper needs neither a sensor id nor a session.
+    """
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        with sock.makefile("rwb") as handle:
+            handle.write(encode_message({"type": kind}))
+            handle.flush()
+            line = handle.readline()
+    if not line:
+        raise ConnectionError("server closed the connection without replying")
+    reply = decode_message(line)
+    if reply["type"] == "error":
+        raise ProtocolError(reply.get("message", "server error"))
+    if reply["type"] != kind:
+        raise ProtocolError(f"expected {kind!r} reply, got {reply['type']!r}")
+    return reply
+
+
+def scrape_metrics(host: str, port: int, timeout_s: float = 10.0) -> str:
+    """Scrape a live server's Prometheus text exposition (no handshake).
+
+    What a Prometheus exporter bridge or the CI obs-smoke job calls; pair
+    with :func:`repro.obs.parse_prometheus_text` to consume the result.
+    """
+    return _monitoring_request(host, port, "metrics", timeout_s)["exposition"]
+
+
+def fetch_trace(host: str, port: int, timeout_s: float = 10.0) -> Optional[dict]:
+    """Fetch a live server's Chrome trace (``None`` if not instrumented)."""
+    return _monitoring_request(host, port, "trace", timeout_s)["trace"]
 
 
 def stream_recording(

@@ -64,6 +64,16 @@ class HubConfig:
         Out-of-order arrival tolerance for every sensor's online framer.
     collect_frames:
         Keep per-frame results inside each session (tests/demos only).
+    instrument:
+        Give every session a per-sensor :class:`repro.obs.Instrumentation`
+        wired to one hub-wide tracer and the telemetry metrics registry:
+        per-stage seconds appear in the ``metrics`` exposition
+        (``repro_pipeline_stage_seconds_total{sensor,stage}``) and
+        :meth:`TrackingHub.chrome_trace` returns a live flame graph.  Off
+        by default — uninstrumented sessions run the untouched hot path.
+    trace_sample_every:
+        Trace every Nth frame window per sensor (1 = all); bounds trace
+        growth on long-lived hubs without affecting the stage metrics.
     """
 
     num_workers: int = 4
@@ -72,8 +82,14 @@ class HubConfig:
     pipeline_config: EbbiotConfig = field(default_factory=EbbiotConfig)
     reorder_slack_us: int = 5_000
     collect_frames: bool = False
+    instrument: bool = False
+    trace_sample_every: int = 1
 
     def __post_init__(self) -> None:
+        if self.trace_sample_every < 1:
+            raise ValueError(
+                f"trace_sample_every must be >= 1, got {self.trace_sample_every}"
+            )
         if self.num_workers <= 0:
             raise ValueError(f"num_workers must be positive, got {self.num_workers}")
         if self.queue_capacity <= 0:
@@ -116,6 +132,11 @@ class TrackingHub:
     def __init__(self, config: Optional[HubConfig] = None) -> None:
         self.config = config or HubConfig()
         self.telemetry = TelemetryRegistry()
+        self.tracer = None
+        if self.config.instrument:
+            from repro.obs import Tracer
+
+            self.tracer = Tracer()
         self._sessions: Dict[str, SensorSession] = {}
         self._callbacks: Dict[str, Optional[FramesCallback]] = {}
         self._sessions_lock = threading.Lock()
@@ -173,6 +194,16 @@ class TrackingHub:
         on_frames: Optional[FramesCallback] = None,
     ) -> SensorSession:
         """Create the session for a new sensor (error if it already exists)."""
+        instrumentation = None
+        if self.config.instrument:
+            from repro.obs import Instrumentation
+
+            instrumentation = Instrumentation(
+                tracer=self.tracer,
+                metrics=self.telemetry.metrics,
+                labels={"sensor": sensor_id},
+                sample_every=self.config.trace_sample_every,
+            )
         session = SensorSession(
             sensor_id,
             config=config or self.config.pipeline_config,
@@ -181,6 +212,7 @@ class TrackingHub:
             # Hub sessions may stream indefinitely; full per-observation
             # history is only retained in the frame-collecting debug mode.
             keep_history=self.config.collect_frames,
+            instrumentation=instrumentation,
         )
         with self._sessions_lock:
             if sensor_id in self._sessions:
@@ -271,6 +303,30 @@ class TrackingHub:
         with self._sessions_lock:
             results = sorted(self._closed_results, key=lambda r: r.name)
         return BatchResult(recordings=results, wall_time_s=wall)
+
+    # -- observability -------------------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the hub's full metrics registry.
+
+        Always available (the telemetry counters live there regardless of
+        instrumentation); with ``instrument`` it additionally carries the
+        per-sensor pipeline-stage seconds.  This is what the protocol's
+        ``metrics`` command returns.
+        """
+        return self.telemetry.to_prometheus_text()
+
+    def chrome_trace(self) -> Optional[dict]:
+        """The hub's live Chrome trace, or ``None`` when not instrumented.
+
+        Spans accumulate from hub start; each worker thread gets its own
+        ``tid`` lane.  The tracer's buffer is bounded, so a long-lived hub
+        eventually stops adding spans rather than growing without limit
+        (re-arm with ``hub.tracer.clear()``).
+        """
+        if self.tracer is None:
+            return None
+        return self.tracer.chrome_trace(process_name="tracking-hub")
 
     # -- worker loop ---------------------------------------------------------------------
 

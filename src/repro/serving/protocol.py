@@ -12,6 +12,8 @@ Client → server::
      "tracker": "kalman"}          # tracker is optional (server default)
     {"type": "events", "x": [...], "y": [...], "t": [...], "p": [...]}
     {"type": "stats"}
+    {"type": "metrics"}            # allowed without hello (monitoring)
+    {"type": "trace"}              # allowed without hello (monitoring)
     {"type": "finish"}
 
 Server → client::
@@ -19,8 +21,14 @@ Server → client::
     {"type": "welcome", "frame_duration_us": 66000, "reorder_slack_us": 5000, ...}
     {"type": "frame", "sensor_id": ..., "frame_index": ..., "tracks": [...]}
     {"type": "stats", "telemetry": {...}}
+    {"type": "metrics", "exposition": "..."}     # Prometheus text format
+    {"type": "trace", "trace": {...}}            # Chrome trace-event JSON
     {"type": "summary", "recording": {...}}      # terminal reply to finish
     {"type": "error", "message": "..."}
+
+``metrics`` and ``trace`` are monitoring commands: a scraper connects,
+asks, reads one reply and disconnects, without ever registering as a
+sensor — so the server answers them before (or without) ``hello``.
 """
 
 from __future__ import annotations
@@ -160,6 +168,21 @@ def summary_message(result: RecordingResult) -> dict:
 def stats_message(telemetry: dict) -> dict:
     """A telemetry snapshot (reply to ``stats``)."""
     return {"type": "stats", "telemetry": telemetry}
+
+
+def metrics_message(exposition: str) -> dict:
+    """A Prometheus text-exposition snapshot (reply to ``metrics``)."""
+    return {"type": "metrics", "exposition": exposition}
+
+
+def trace_message(trace: Optional[dict]) -> dict:
+    """A Chrome trace-event document (reply to ``trace``).
+
+    ``trace`` is ``None`` when the hub runs uninstrumented; the client sees
+    an explicit null rather than an empty trace, so "tracing off" and "no
+    spans yet" are distinguishable.
+    """
+    return {"type": "trace", "trace": trace}
 
 
 def error_message(message: str, sensor_id: Optional[str] = None) -> dict:

@@ -36,9 +36,11 @@ from repro.serving.protocol import (
     encode_message,
     error_message,
     frame_message,
+    metrics_message,
     packet_from_events_message,
     stats_message,
     summary_message,
+    trace_message,
     welcome_message,
 )
 
@@ -105,6 +107,14 @@ class _SensorConnectionHandler(socketserver.StreamRequestHandler):
         kind = message["type"]
         if kind == "hello":
             return self._on_hello(hub, message)
+        # Monitoring commands are exempt from the hello handshake: a
+        # scraper is not a sensor and must not have to register as one.
+        if kind == "metrics":
+            self._send(metrics_message(hub.metrics_text()))
+            return True
+        if kind == "trace":
+            self._send(trace_message(hub.chrome_trace()))
+            return True
         if self.sensor_id is None:
             raise ProtocolError("first message must be 'hello'")
         if kind == "events":

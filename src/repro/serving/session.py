@@ -74,6 +74,10 @@ class SensorSession:
         so an indefinitely streaming sensor stays at constant memory; the
         summary counts (observations, distinct tracks) are maintained
         separately and are unaffected.
+    instrumentation:
+        Optional :class:`repro.obs.Instrumentation` threaded into the
+        pipeline; an instrumented hub passes one per sensor (labelled with
+        the sensor id) so per-stage cost shows up in its metrics and trace.
     """
 
     def __init__(
@@ -83,9 +87,11 @@ class SensorSession:
         reorder_slack_us: int = 5_000,
         collect_frames: bool = False,
         keep_history: bool = True,
+        instrumentation=None,
     ) -> None:
         self.sensor_id = sensor_id
-        self.pipeline = EbbiotPipeline(config)
+        self.instrumentation = instrumentation
+        self.pipeline = EbbiotPipeline(config, instrumentation=instrumentation)
         self.framer = OnlineFramer(
             frame_duration_us=self.pipeline.config.frame_duration_us,
             reorder_slack_us=reorder_slack_us,
@@ -205,4 +211,9 @@ class SensorSession:
             num_track_observations=self._num_observations,
             num_proposals=self.result.total_proposals(),
             tracker=self.backend_name,
+            stage_seconds=(
+                self.instrumentation.snapshot()
+                if self.instrumentation is not None
+                else None
+            ),
         )

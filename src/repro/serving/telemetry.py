@@ -1,24 +1,53 @@
-"""Telemetry for the live serving layer.
+"""Telemetry for the live serving layer, built on :mod:`repro.obs`.
 
 Every sensor session tracked by a :class:`~repro.serving.hub.TrackingHub`
 gets one :class:`SensorTelemetry` record: ingestion counters (events,
 batches, drops), output counters (frames, track observations), a queue-depth
 gauge and a sliding window of per-frame latencies.  The whole registry
-exports as one JSON document (``python -m repro.serving --telemetry-json``),
-which is what an operator dashboard or the latency benchmark scrapes.
+exports two ways:
+
+* :meth:`TelemetryRegistry.to_dict` — the JSON document
+  (``python -m repro.serving --telemetry-json``) an operator dashboard or
+  the latency benchmark scrapes; its shape is stable across releases;
+* :meth:`TelemetryRegistry.to_prometheus_text` — the same state as
+  Prometheus text exposition (``repro_sensor_*`` metric families labelled
+  by ``sensor``), which is what the serving protocol's ``metrics`` command
+  returns.
+
+Since the cut-over to :mod:`repro.obs`, each counter/gauge/histogram here
+is a labelled child in a shared :class:`~repro.obs.MetricsRegistry`, so
+anything else that writes into the same registry (the hub's per-stage
+instrumentation, for example) appears in the same exposition for free.
 
 Counters are updated from the hub's worker threads and read from control
-threads, so each record guards its state with a lock; updates are a few
-increments, so contention is negligible next to the pipeline work.
+threads; each record additionally guards its multi-field updates with its
+own lock, so a snapshot taken mid-``record_frames`` never shows a frame
+counted without its latency sample.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Dict, Optional
 
-import numpy as np
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Latency histogram buckets (seconds) sized for per-frame serving latency:
+#: sub-millisecond ingest steps up to multi-second stalls.
+LATENCY_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
 
 
 class LatencyWindow:
@@ -26,44 +55,57 @@ class LatencyWindow:
 
     Keeps the last ``capacity`` samples (seconds).  A bounded window makes
     the percentiles reflect *recent* behaviour — exactly what a live
-    dashboard wants — and caps memory per sensor.
+    dashboard wants — and caps memory per sensor.  :attr:`count` and
+    :attr:`mean_s` are lifetime statistics (they keep growing after the
+    window wraps); the percentiles cover the retained window only.
+
+    Since the :mod:`repro.obs` cut-over this is a thin facade over a
+    histogram sample — standalone by default, or (as inside
+    :class:`SensorTelemetry`) a labelled child of a shared metrics
+    registry, so the same samples back both the JSON snapshot and the
+    Prometheus exposition.
     """
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(self, capacity: int = 4096, _sample=None) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
-        self._samples: Deque[float] = deque(maxlen=capacity)
-        self._count = 0
-        self._total = 0.0
+        if _sample is None:
+            _sample = Histogram(
+                "latency_window_seconds",
+                buckets=LATENCY_BUCKETS,
+                window=capacity,
+            ).labels()
+        self._sample = _sample
 
     def record(self, seconds: float) -> None:
         """Add one latency sample."""
-        self._samples.append(seconds)
-        self._count += 1
-        self._total += seconds
+        self._sample.observe(seconds)
 
     @property
     def count(self) -> int:
         """Samples recorded over the window's lifetime (not just retained)."""
-        return self._count
+        return self._sample.count
 
     @property
     def mean_s(self) -> float:
-        """Lifetime mean latency in seconds."""
-        if self._count == 0:
-            return 0.0
-        return self._total / self._count
+        """Lifetime mean latency in seconds (0.0 before the first sample)."""
+        return self._sample.mean
 
     def percentile_s(self, q: float) -> float:
-        """The ``q``-th percentile (0-100) over the retained window."""
-        if not self._samples:
-            return 0.0
-        return float(np.percentile(np.asarray(self._samples), q))
+        """The ``q``-th percentile (0-100) over the retained window.
+
+        Uses linear interpolation between closest ranks (NumPy's default
+        ``np.percentile`` method), *not* nearest-rank — e.g. the p50 of the
+        samples ``1ms..100ms`` is 50.5 ms.  Edge cases are explicit: an
+        empty window returns ``0.0`` and a single retained sample is every
+        percentile of itself.
+        """
+        return self._sample.percentile(q)
 
     def to_dict(self) -> dict:
         """JSON-serialisable summary (counts and key percentiles, ms)."""
         return {
-            "count": self._count,
+            "count": self.count,
             "mean_ms": self.mean_s * 1e3,
             "p50_ms": self.percentile_s(50) * 1e3,
             "p95_ms": self.percentile_s(95) * 1e3,
@@ -72,33 +114,81 @@ class LatencyWindow:
 
 
 class SensorTelemetry:
-    """Mutable, lock-guarded telemetry record of one live sensor."""
+    """Lock-guarded telemetry record of one live sensor.
 
-    def __init__(self, sensor_id: str) -> None:
+    Each numeric field is a labelled child metric in ``metrics`` (a shared
+    :class:`~repro.obs.MetricsRegistry`; a private one is created when the
+    record is built standalone), read back through properties so existing
+    callers still see plain ints.
+    """
+
+    def __init__(
+        self, sensor_id: str, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
         self.sensor_id = sensor_id
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = threading.Lock()
         self.tracker: Optional[str] = None
-        self.events_received = 0
-        self.batches_received = 0
-        self.frames_emitted = 0
-        self.track_observations = 0
-        self.late_events = 0
-        self.dropped_batches = 0
-        self.dropped_events = 0
-        self.queue_depth = 0
-        self.frame_latency = LatencyWindow()
+        labels = {"sensor": sensor_id}
+
+        def counter(name: str, help: str):
+            return self.metrics.counter(name, help, labelnames=("sensor",)).labels(
+                **labels
+            )
+
+        def gauge(name: str, help: str):
+            return self.metrics.gauge(name, help, labelnames=("sensor",)).labels(
+                **labels
+            )
+
+        self._events_received = counter(
+            "repro_sensor_events_received_total", "Events accepted from the sensor."
+        )
+        self._batches_received = counter(
+            "repro_sensor_batches_received_total", "Ingest batches accepted."
+        )
+        self._frames_emitted = counter(
+            "repro_sensor_frames_emitted_total", "Frame windows closed and processed."
+        )
+        self._track_observations = counter(
+            "repro_sensor_track_observations_total", "Track boxes reported."
+        )
+        self._dropped_batches = counter(
+            "repro_sensor_dropped_batches_total",
+            "Batches shed by backpressure or poisoned.",
+        )
+        self._dropped_events = counter(
+            "repro_sensor_dropped_events_total", "Events in dropped batches."
+        )
+        self._late_events = gauge(
+            "repro_sensor_late_events",
+            "Events dropped for arriving after their window closed.",
+        )
+        self._queue_depth = gauge(
+            "repro_sensor_queue_depth", "In-flight batches on the sensor's shard."
+        )
+        self.frame_latency = LatencyWindow(
+            _sample=self.metrics.histogram(
+                "repro_sensor_frame_latency_seconds",
+                "Enqueue-to-frame-completion latency per closed frame.",
+                labelnames=("sensor",),
+                buckets=LATENCY_BUCKETS,
+            ).labels(**labels)
+        )
+
+    # -- updates -------------------------------------------------------------------------
 
     def record_batch(self, num_events: int) -> None:
         """Count one accepted ingest batch."""
         with self._lock:
-            self.batches_received += 1
-            self.events_received += num_events
+            self._batches_received.inc()
+            self._events_received.inc(num_events)
 
     def record_drop(self, num_events: int) -> None:
         """Count one batch rejected by the backpressure policy."""
         with self._lock:
-            self.dropped_batches += 1
-            self.dropped_events += num_events
+            self._dropped_batches.inc()
+            self._dropped_events.inc(num_events)
 
     def record_frames(
         self, num_frames: int, num_tracks: int, latency_s: float, late_events: int
@@ -107,27 +197,62 @@ class SensorTelemetry:
 
         ``latency_s`` is the enqueue-to-frame-completion wall time; it is
         recorded once per closed frame so the percentiles weight frames, not
-        batches.
+        batches.  ``late_events`` is the framer's *running total* (set, not
+        added).
         """
         with self._lock:
-            self.frames_emitted += num_frames
-            self.track_observations += num_tracks
-            self.late_events = late_events
+            self._frames_emitted.inc(num_frames)
+            self._track_observations.inc(num_tracks)
+            self._late_events.set(late_events)
             for _ in range(num_frames):
                 self.frame_latency.record(latency_s)
 
     def set_queue_depth(self, depth: int) -> None:
         """Update the queue-depth gauge."""
         with self._lock:
-            self.queue_depth = depth
+            self._queue_depth.set(depth)
 
     def set_tracker(self, tracker: str) -> None:
         """Tag the sensor with its tracker backend (set at registration)."""
         with self._lock:
             self.tracker = tracker
 
+    # -- reads ---------------------------------------------------------------------------
+
+    @property
+    def events_received(self) -> int:
+        return int(self._events_received.value)
+
+    @property
+    def batches_received(self) -> int:
+        return int(self._batches_received.value)
+
+    @property
+    def frames_emitted(self) -> int:
+        return int(self._frames_emitted.value)
+
+    @property
+    def track_observations(self) -> int:
+        return int(self._track_observations.value)
+
+    @property
+    def late_events(self) -> int:
+        return int(self._late_events.value)
+
+    @property
+    def dropped_batches(self) -> int:
+        return int(self._dropped_batches.value)
+
+    @property
+    def dropped_events(self) -> int:
+        return int(self._dropped_events.value)
+
+    @property
+    def queue_depth(self) -> int:
+        return int(self._queue_depth.value)
+
     def to_dict(self) -> dict:
-        """JSON-serialisable snapshot."""
+        """JSON-serialisable snapshot (key set stable across releases)."""
         with self._lock:
             return {
                 "sensor_id": self.sensor_id,
@@ -145,18 +270,25 @@ class SensorTelemetry:
 
 
 class TelemetryRegistry:
-    """All sensors' telemetry, exportable as one JSON document."""
+    """All sensors' telemetry, exportable as JSON or Prometheus text.
 
-    def __init__(self) -> None:
+    Owns one shared :class:`~repro.obs.MetricsRegistry` (``metrics``) that
+    every sensor record writes into; other producers — e.g. the hub's
+    pipeline-stage instrumentation — can register their own families in it
+    and appear in the same exposition.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
         self._sensors: Dict[str, SensorTelemetry] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def sensor(self, sensor_id: str) -> SensorTelemetry:
         """Get (or lazily create) the record of one sensor."""
         with self._lock:
             record = self._sensors.get(sensor_id)
             if record is None:
-                record = SensorTelemetry(sensor_id)
+                record = SensorTelemetry(sensor_id, metrics=self.metrics)
                 self._sensors[sensor_id] = record
             return record
 
@@ -168,6 +300,10 @@ class TelemetryRegistry:
     def __len__(self) -> int:
         with self._lock:
             return len(self._sensors)
+
+    def to_prometheus_text(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        return self.metrics.to_prometheus_text()
 
     def to_dict(self) -> dict:
         """Snapshot of every sensor plus fleet totals."""

@@ -1,0 +1,190 @@
+"""Observability through the batch runtime: stage timing, traces, metrics."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    PIPELINE_STAGES,
+    STAGE_SECONDS_METRIC,
+    parse_prometheus_text,
+    sample_value,
+    validate_chrome_trace,
+)
+from repro.runtime.runner import RunnerConfig, StreamRunner
+from repro.runtime.scenes import build_scene_jobs
+
+
+def _run(config: RunnerConfig, scenes: int = 2, duration_s: float = 1.0):
+    jobs = build_scene_jobs(scenes, duration_s=duration_s, base_seed=0)
+    return StreamRunner(config).run(jobs)
+
+
+class TestInstrumentedRunner:
+    def test_instrumented_results_match_uninstrumented(self):
+        plain = _run(RunnerConfig(executor="serial"))
+        instrumented = _run(RunnerConfig(executor="serial", instrument=True))
+        for a, b in zip(plain.recordings, instrumented.recordings):
+            assert a.name == b.name
+            assert a.num_frames == b.num_frames
+            assert a.num_proposals == b.num_proposals
+            assert a.num_track_observations == b.num_track_observations
+            assert a.mean_active_pixel_fraction == pytest.approx(
+                b.mean_active_pixel_fraction
+            )
+
+    def test_stage_seconds_cover_all_stages(self):
+        batch = _run(RunnerConfig(executor="serial", instrument=True))
+        for recording in batch.recordings:
+            assert set(recording.stage_seconds) == set(PIPELINE_STAGES)
+            assert all(v >= 0 for v in recording.stage_seconds.values())
+        totals = batch.stage_seconds()
+        assert set(totals) == set(PIPELINE_STAGES)
+
+    def test_uninstrumented_results_carry_no_stage_data(self):
+        batch = _run(RunnerConfig(executor="serial"))
+        for recording in batch.recordings:
+            assert recording.stage_seconds is None
+            assert recording.trace_events is None
+            assert "stage_seconds" not in recording.to_dict()
+        assert batch.stage_seconds() == {}
+        assert batch.chrome_trace() is None
+        assert "stage_seconds" not in batch.fleet_summary()
+
+    def test_to_dict_and_fleet_summary_gain_stage_seconds(self):
+        batch = _run(RunnerConfig(executor="serial", instrument=True))
+        payload = batch.recordings[0].to_dict()
+        assert set(payload["stage_seconds"]) == set(PIPELINE_STAGES)
+        assert set(batch.fleet_summary()["stage_seconds"]) == set(PIPELINE_STAGES)
+
+    def test_trace_has_one_span_per_stage_per_frame_window(self):
+        """The ISSUE acceptance criterion, via the runner API."""
+        batch = _run(RunnerConfig(executor="serial", trace=True))
+        trace = batch.chrome_trace()
+        spans = validate_chrome_trace(trace)
+        # One pid per recording, named via process_name metadata.
+        for pid, recording in enumerate(batch.recordings):
+            mine = [s for s in spans if s["pid"] == pid]
+            stage_spans = [s for s in mine if s["cat"] == "stage"]
+            frame_spans = [s for s in mine if s["cat"] == "frame"]
+            assert len(frame_spans) == recording.num_frames
+            for stage in PIPELINE_STAGES:
+                named = [s for s in stage_spans if s["name"] == stage]
+                assert len(named) == recording.num_frames
+
+    def test_trace_sampling_thins_spans_not_stage_seconds(self):
+        every = _run(RunnerConfig(executor="serial", trace=True))
+        sampled = _run(
+            RunnerConfig(executor="serial", trace=True, trace_sample_every=4)
+        )
+        assert len(validate_chrome_trace(sampled.chrome_trace())) < len(
+            validate_chrome_trace(every.chrome_trace())
+        )
+        for recording in sampled.recordings:
+            assert set(recording.stage_seconds) == set(PIPELINE_STAGES)
+
+    def test_process_executor_carries_stage_data_across_pickling(self):
+        batch = _run(
+            RunnerConfig(executor="process", max_workers=2, trace=True)
+        )
+        for recording in batch.recordings:
+            assert set(recording.stage_seconds) == set(PIPELINE_STAGES)
+            assert recording.trace_events
+        validate_chrome_trace(batch.chrome_trace())
+
+    def test_metrics_registry_exposition(self):
+        batch = _run(RunnerConfig(executor="serial", instrument=True))
+        samples = parse_prometheus_text(
+            batch.metrics_registry().to_prometheus_text()
+        )
+        name = batch.recordings[0].name
+        tracker = batch.recordings[0].tracker
+        assert sample_value(
+            samples, "repro_recording_events_total", recording=name, tracker=tracker
+        ) == batch.recordings[0].num_events
+        assert (
+            sample_value(
+                samples, STAGE_SECONDS_METRIC, recording=name, stage="tracker"
+            )
+            is not None
+        )
+
+    def test_format_stage_table(self):
+        instrumented = _run(RunnerConfig(executor="serial", instrument=True))
+        table = instrumented.format_stage_table()
+        for stage in PIPELINE_STAGES:
+            assert stage in table
+        plain = _run(RunnerConfig(executor="serial"))
+        assert "no stage breakdown" in plain.format_stage_table()
+
+    def test_bad_trace_sample_rejected(self):
+        with pytest.raises(ValueError, match="trace_sample_every"):
+            RunnerConfig(trace_sample_every=0)
+
+
+class TestRuntimeCliObservability:
+    def test_cli_trace_and_metrics_files(self, tmp_path, capsys):
+        from repro.runtime.__main__ import main
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        exit_code = main(
+            [
+                "--scenes",
+                "2",
+                "--duration",
+                "1",
+                "--trace",
+                str(trace_path),
+                "--metrics",
+                str(metrics_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "stage" in out  # the stage table is printed
+
+        trace = json.loads(trace_path.read_text())
+        spans = validate_chrome_trace(trace)
+        stage_names = {s["name"] for s in spans if s["cat"] == "stage"}
+        assert stage_names == set(PIPELINE_STAGES)
+        # One span per stage per frame window, per recording (pid).
+        frames_by_pid = {}
+        for span in spans:
+            if span["cat"] == "frame":
+                frames_by_pid[span["pid"]] = frames_by_pid.get(span["pid"], 0) + 1
+        assert len(frames_by_pid) == 2
+        for pid, num_frames in frames_by_pid.items():
+            for stage in PIPELINE_STAGES:
+                count = sum(
+                    1
+                    for s in spans
+                    if s["pid"] == pid and s["cat"] == "stage" and s["name"] == stage
+                )
+                assert count == num_frames
+
+        samples = parse_prometheus_text(metrics_path.read_text())
+        assert any(key[0] == STAGE_SECONDS_METRIC for key in samples)
+        assert any(key[0] == "repro_recording_events_total" for key in samples)
+
+    def test_cli_instrument_prints_stage_table(self, capsys):
+        from repro.runtime.__main__ import main
+
+        assert main(["--scenes", "1", "--duration", "1", "--instrument"]) == 0
+        out = capsys.readouterr().out
+        for stage in PIPELINE_STAGES:
+            assert stage in out
+
+    def test_cli_log_level_flag_parses(self):
+        from repro.runtime.__main__ import build_parser
+
+        args = build_parser().parse_args(["--log-level", "debug"])
+        assert args.log_level == "debug"
+
+    def test_cli_errors_go_through_logging(self, capsys):
+        from repro.runtime.__main__ import main
+
+        assert main(["--tracker", "made-up"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown tracker backend" in err
+        assert "ERROR" in err  # formatted by logging, not a bare print
