@@ -1,12 +1,17 @@
-"""Event-path micro-benchmark harness (``python -m repro.bench``).
+"""Benchmark harness (``python -m repro.bench``): two gated suites.
 
-Runs named timed scenarios — the NN-filt and refractory filters, the
-NN-filt+EBMS and EBBIOT end-to-end pipelines, and the live serving
-sessions — against the standard synthetic fleet, reports throughput and
-speedup-vs-scalar for each, and compares the numbers against a committed
-baseline (``BENCH_event_path.json`` at the repo root), flagging
-regressions beyond a tolerance.  See :mod:`repro.bench.harness` for the
-report/consistency machinery and :mod:`repro.bench.scenarios` for the
+The **event_path** suite runs named timed scenarios — the NN-filt and
+refractory filters, the NN-filt+EBMS and EBBIOT end-to-end pipelines,
+and the live serving sessions — against the standard synthetic fleet,
+reporting throughput and speedup-vs-scalar for each.  The
+**serving_scale** suite replays the same fleet through the thread and
+process tracking hubs across sensor counts, reporting aggregate fps,
+per-sensor scaling efficiency, tail latency and the headline
+``speedup_vs_thread`` ratio.  Each suite compares its numbers against a
+committed baseline (``BENCH_event_path.json`` / ``BENCH_serving_scale.
+json`` at the repo root), flagging regressions beyond a tolerance.  See
+:mod:`repro.bench.harness` for the report/consistency machinery and
+:mod:`repro.bench.scenarios` / :mod:`repro.bench.serving_scale` for the
 individual workloads.
 """
 
@@ -22,13 +27,22 @@ from repro.bench.harness import (
     load_report,
 )
 from repro.bench.scenarios import SCENARIOS, parse_scenario_list
+from repro.bench.serving_scale import (
+    FULL_SERVING_PROFILE,
+    QUICK_SERVING_PROFILE,
+    ServingScaleProfile,
+    run_suite,
+)
 
 __all__ = [
     "BenchProfile",
     "Comparison",
     "FULL_PROFILE",
+    "FULL_SERVING_PROFILE",
     "QUICK_PROFILE",
+    "QUICK_SERVING_PROFILE",
     "SCENARIOS",
+    "ServingScaleProfile",
     "build_report",
     "calibrate",
     "compare_metric",
@@ -36,4 +50,5 @@ __all__ = [
     "dump_report",
     "load_report",
     "parse_scenario_list",
+    "run_suite",
 ]

@@ -1,4 +1,4 @@
-"""CLI for the event-path benchmark harness.
+"""CLI for the benchmark harness: event-path scenarios and serving scale.
 
 Examples::
 
@@ -7,6 +7,7 @@ Examples::
     PYTHONPATH=src python -m repro.bench --scenarios nn_filter,ebms_pipeline
     PYTHONPATH=src python -m repro.bench --quick --check \\
         --baseline BENCH_event_path.json --tolerance 0.30     # regression gate
+    PYTHONPATH=src python -m repro.bench --suite serving_scale  # thread vs process hub
 """
 
 from __future__ import annotations
@@ -27,17 +28,30 @@ from repro.bench.harness import (
 )
 from repro.bench.scenarios import SCENARIOS, parse_scenario_list
 
+#: Suite name -> (full-profile default output, quick-profile default output).
+SUITES = {
+    "event_path": ("BENCH_event_path.json", "BENCH_event_path_quick.json"),
+    "serving_scale": ("BENCH_serving_scale.json", "BENCH_serving_scale_quick.json"),
+}
+
 
 def format_scenarios(report: dict) -> str:
     """Human-readable per-scenario summary table."""
-    header = f"{'scenario':<18} {'primary':>14} {'value':>12} {'speedup':>9}"
+    header = f"{'scenario':<18} {'primary':>16} {'value':>12} {'speedup':>9}"
     lines = [header, "-" * len(header)]
     for name, metrics in report["scenarios"].items():
         primary = metrics.get("primary", "")
         value = metrics.get(primary, 0.0)
-        speedup = metrics.get("speedup_vs_scalar")
+        speedup = next(
+            (
+                metrics[key]
+                for key in sorted(metrics)
+                if key.startswith("speedup_vs_")
+            ),
+            None,
+        )
         speedup_text = f"{speedup:8.1f}x" if speedup is not None else f"{'—':>9}"
-        lines.append(f"{name:<18} {primary:>14} {value:>12.1f} {speedup_text}")
+        lines.append(f"{name:<18} {primary:>16} {value:>12.1f} {speedup_text}")
     return "\n".join(lines)
 
 
@@ -46,21 +60,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.bench", description=__doc__.splitlines()[0]
     )
     parser.add_argument(
+        "--suite",
+        choices=tuple(SUITES),
+        default="event_path",
+        help="benchmark suite: 'event_path' (filter/pipeline/session "
+        "scenarios) or 'serving_scale' (thread vs process hub across "
+        "fleet sizes)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI smoke sizes (3 scenes x 1.5 s) instead of the full fleet",
+        help="CI smoke sizes instead of the full committed-baseline workload",
     )
     parser.add_argument(
         "--scenarios",
-        default=",".join(SCENARIOS),
+        default=None,
         metavar="NAME[,NAME...]",
-        help="scenarios to run (default: all)",
+        help="event_path scenarios to run (default: all; "
+        "not applicable to --suite serving_scale)",
     )
     parser.add_argument(
         "--output",
         default=None,
         help="where to write the JSON report ('-' for stdout only; default: "
-        "BENCH_event_path.json, or BENCH_event_path_quick.json with --quick, "
+        "the suite's committed artifact name, e.g. BENCH_event_path.json or "
+        "BENCH_serving_scale.json, with a _quick variant under --quick, "
         "so each profile round-trips against its own committed baseline)",
     )
     parser.add_argument(
@@ -89,35 +113,58 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list:
         for name, fn in SCENARIOS.items():
             print(f"{name:<18} {fn.__doc__.splitlines()[0]}")
+        print(f"{'serving_scale':<18} thread vs process hub scaling suite (--suite serving_scale)")
         return 0
 
-    try:
-        names = parse_scenario_list(args.scenarios)
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
+    if args.suite == "serving_scale" and args.scenarios is not None:
+        print(
+            "error: --scenarios applies to the event_path suite only",
+            file=sys.stderr,
+        )
         return 2
 
-    profile = QUICK_PROFILE if args.quick else FULL_PROFILE
     if args.output is None:
-        args.output = (
-            "BENCH_event_path_quick.json" if args.quick else "BENCH_event_path.json"
-        )
+        full_output, quick_output = SUITES[args.suite]
+        args.output = quick_output if args.quick else full_output
     baseline_path = args.baseline or (args.output if args.output != "-" else None)
     baseline = load_report(baseline_path) if baseline_path else None
 
-    print(
-        f"profile {profile.name}: {profile.scenes} scene(s) x {profile.duration_s:.1f} s, "
-        f"{len(names)} scenario(s)",
-        flush=True,
-    )
     calibration = calibrate()
-    print(f"calibration score: {calibration['score']:.2f}", flush=True)
 
-    results = {}
-    for name in names:
-        print(f"  running {name} ...", flush=True)
-        results[name] = SCENARIOS[name](profile)
-    report = build_report(profile, results, calibration)
+    if args.suite == "serving_scale":
+        from repro.bench.serving_scale import (
+            FULL_SERVING_PROFILE,
+            QUICK_SERVING_PROFILE,
+            run_suite,
+        )
+
+        profile = QUICK_SERVING_PROFILE if args.quick else FULL_SERVING_PROFILE
+        print(
+            f"profile {profile.name}: sensors {profile.sensor_counts}, "
+            f"{profile.scenes} scene(s) x {profile.duration_s:.1f} s, "
+            f"{profile.batch_us} us batches, {profile.workers} workers",
+            flush=True,
+        )
+        print(f"calibration score: {calibration['score']:.2f}", flush=True)
+        results = run_suite(profile, log=lambda line: print(line, flush=True))
+    else:
+        try:
+            names = parse_scenario_list(args.scenarios or ",".join(SCENARIOS))
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        profile = QUICK_PROFILE if args.quick else FULL_PROFILE
+        print(
+            f"profile {profile.name}: {profile.scenes} scene(s) x "
+            f"{profile.duration_s:.1f} s, {len(names)} scenario(s)",
+            flush=True,
+        )
+        print(f"calibration score: {calibration['score']:.2f}", flush=True)
+        results = {}
+        for name in names:
+            print(f"  running {name} ...", flush=True)
+            results[name] = SCENARIOS[name](profile)
+    report = build_report(profile, results, calibration, benchmark=args.suite)
 
     print()
     print(format_scenarios(report))

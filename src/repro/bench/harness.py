@@ -94,13 +94,19 @@ def calibrate() -> Dict[str, float]:
 
 
 def build_report(
-    profile: BenchProfile,
+    profile,
     scenario_results: Dict[str, Dict[str, float]],
     calibration: Dict[str, float],
+    benchmark: str = "event_path",
 ) -> dict:
-    """Assemble the JSON-serializable report document."""
+    """Assemble the JSON-serializable report document.
+
+    ``profile`` is any frozen dataclass of workload sizes (the event-path
+    :class:`BenchProfile` or the serving-scale profile) — only its
+    ``name`` and field dict enter the report.
+    """
     return {
-        "benchmark": "event_path",
+        "benchmark": benchmark,
         "version": REPORT_VERSION,
         "profile": profile.name,
         "config": asdict(profile),
@@ -116,12 +122,15 @@ def compare_reports(
 
     For every scenario present in both reports:
 
-    * each ``speedup_vs_scalar`` metric is compared raw (it is a same-
-      machine ratio) — but gated at *twice* the tolerance, because the
-      ratio divides interpreter-bound scalar time by NumPy-bound
-      vectorized time and that balance shifts between CPUs; the doubled
-      margin still catches an accidental de-vectorization (which drops
-      the ratio several-fold) without flaking on hardware differences;
+    * every ``speedup_vs_*`` metric (``speedup_vs_scalar``,
+      ``speedup_vs_thread``, ...) is compared raw (each is a same-machine
+      ratio of two legs timed back to back) — but gated at *twice* the
+      tolerance, because the two legs weight interpreter, NumPy and
+      scheduler time differently and that balance shifts between CPUs;
+      the doubled margin still catches an architectural regression
+      (de-vectorization, a process hub degrading to thread-hub behaviour
+      — both drop the ratio several-fold) without flaking on hardware
+      differences;
     * the scenario's ``primary`` throughput metric is compared after
       normalizing both sides by their own calibration score.
 
@@ -143,14 +152,18 @@ def compare_reports(
         base_metrics = baseline.get("scenarios", {}).get(name)
         if not base_metrics:
             continue
-        if "speedup_vs_scalar" in metrics and "speedup_vs_scalar" in base_metrics:
-            base = float(base_metrics["speedup_vs_scalar"])
+        for metric_name in sorted(metrics):
+            if not metric_name.startswith("speedup_vs_"):
+                continue
+            if metric_name not in base_metrics:
+                continue
+            base = float(base_metrics[metric_name])
             if base > 0:
                 comparisons.append(
                     compare_metric(
                         scenario=name,
-                        metric="speedup_vs_scalar",
-                        current=float(metrics["speedup_vs_scalar"]),
+                        metric=metric_name,
+                        current=float(metrics[metric_name]),
                         baseline=base,
                         tolerance=speedup_tolerance,
                         direction="up",

@@ -254,6 +254,11 @@ def scenario_serving(profile: BenchProfile) -> Dict[str, float]:
     Uses in-process :class:`SensorSession` objects (no TCP, no threads) so
     the number isolates the serving layer's per-window work — online
     framing plus the incremental pipeline — from transport noise.
+
+    ``scaling_efficiency`` is aggregate fps over ``N x`` single-sensor
+    fps.  The serial driver pins it near ``1/N`` by construction — that
+    committed anchor is the "no parallelism" floor the hub-level
+    ``serving_scale`` suite's efficiency numbers are read against.
     """
     recordings = _fleet(profile)
     single = _drive_sessions(recordings[:1])
@@ -262,13 +267,18 @@ def scenario_serving(profile: BenchProfile) -> Dict[str, float]:
         for index in range(profile.serving_sensors)
     ]
     multi = _drive_sessions(multi_recordings)
+    fps_1 = single["frames"] / single["wall_s"] if single["wall_s"] else 0.0
+    fps_n = multi["frames"] / multi["wall_s"] if multi["wall_s"] else 0.0
     return {
         "primary": "events_per_s_1",
         "sensors": float(profile.serving_sensors),
-        "frames_per_s_1": single["frames"] / single["wall_s"] if single["wall_s"] else 0.0,
+        "frames_per_s_1": fps_1,
         "events_per_s_1": single["events"] / single["wall_s"] if single["wall_s"] else 0.0,
-        "frames_per_s_n": multi["frames"] / multi["wall_s"] if multi["wall_s"] else 0.0,
+        "frames_per_s_n": fps_n,
         "events_per_s_n": multi["events"] / multi["wall_s"] if multi["wall_s"] else 0.0,
+        "scaling_efficiency": (
+            fps_n / (profile.serving_sensors * fps_1) if fps_1 else 0.0
+        ),
     }
 
 

@@ -344,6 +344,14 @@ class EventBuffer:
     concatenated and sorted when a drain compacts the buffer — so per-batch
     ingestion cost is independent of how much history is buffered.
 
+    Real sensors deliver packets that are already time-sorted and
+    non-overlapping, so the buffer tracks whether its packets form one
+    globally ordered run.  While they do, :meth:`drain_until` slices packets
+    in place — no concatenation of the remainder, no ``argsort``, no copies —
+    which is what keeps the live path at batch-replay throughput.  Any
+    out-of-order packet drops the buffer back to the sort-on-drain path,
+    whose stable sort yields byte-identical output for equal timestamps.
+
     The buffer deliberately does not validate coordinates; callers that need
     bounds checks (the protocol layer does) validate before appending.
     """
@@ -352,6 +360,7 @@ class EventBuffer:
         self._packets: List[np.ndarray] = []
         self._num_pending = 0
         self._max_seen_t: Optional[int] = None
+        self._ordered = True
 
     def __len__(self) -> int:
         return self._num_pending
@@ -361,12 +370,23 @@ class EventBuffer:
         """Largest event timestamp ever appended (``None`` before any)."""
         return self._max_seen_t
 
+    @property
+    def is_ordered(self) -> bool:
+        """Whether buffered packets form one globally time-sorted run."""
+        return self._ordered
+
     def append(self, events: np.ndarray) -> None:
         """Buffer one batch of events (any order, canonical-izable dtype)."""
         events = normalize_packet(events)
         if len(events) == 0:
             return
-        batch_max = int(events["t"].max())
+        t = events["t"]
+        if self._ordered:
+            if not is_time_sorted(events):
+                self._ordered = False
+            elif self._max_seen_t is not None and int(t[0]) < self._max_seen_t:
+                self._ordered = False
+        batch_max = int(t[-1]) if self._ordered else int(t.max())
         if self._max_seen_t is None or batch_max > self._max_seen_t:
             self._max_seen_t = batch_max
         self._packets.append(events)
@@ -375,18 +395,70 @@ class EventBuffer:
     def drain_until(self, t_us: int) -> np.ndarray:
         """Remove and return all buffered events with ``t < t_us``, sorted.
 
-        The remainder stays buffered (compacted into a single sorted packet,
-        so repeated drains do not re-sort old data).
+        On the ordered fast path the drained prefix is sliced straight out of
+        the buffered packets; otherwise the buffer is compacted into a single
+        sorted packet first (so repeated drains do not re-sort old data).
         """
         if self._num_pending == 0:
             return empty_packet()
-        merged = concatenate_packets(self._packets)
-        cut = int(np.searchsorted(merged["t"], t_us, side="left"))
-        drained = merged[:cut].copy()
-        remainder = merged[cut:].copy()
-        self._packets = [remainder] if len(remainder) else []
-        self._num_pending = len(remainder)
+        if not self._ordered:
+            merged = concatenate_packets(self._packets)
+            cut = int(np.searchsorted(merged["t"], t_us, side="left"))
+            drained = merged[:cut].copy()
+            remainder = merged[cut:].copy()
+            self._packets = [remainder] if len(remainder) else []
+            self._num_pending = len(remainder)
+            self._ordered = True
+            return drained
+        out: List[np.ndarray] = []
+        consumed = len(self._packets)
+        for i, packet in enumerate(self._packets):
+            t = packet["t"]
+            if int(t[-1]) < t_us:
+                out.append(packet)
+                continue
+            cut = int(np.searchsorted(np.ascontiguousarray(t), t_us, side="left"))
+            if cut:
+                out.append(packet[:cut])
+                self._packets[i] = packet[cut:]
+            consumed = i
+            break
+        self._packets = self._packets[consumed:]
+        if not out:
+            return empty_packet()
+        drained = out[0] if len(out) == 1 else np.concatenate(out)
+        self._num_pending -= len(drained)
         return drained
+
+    def restore(
+        self,
+        pending: np.ndarray,
+        max_seen_t: Optional[int],
+        ordered: bool = True,
+    ) -> None:
+        """Reset the buffer to a snapshotted state (see :meth:`pending_packet`).
+
+        ``max_seen_t`` is restored explicitly because the watermark can sit
+        past every pending event (e.g. after a drain), which a plain
+        re-append could not reproduce.
+        """
+        self._packets = [normalize_packet(pending)] if len(pending) else []
+        self._num_pending = len(pending)
+        self._max_seen_t = max_seen_t
+        self._ordered = ordered
+
+    def pending_packet(self) -> np.ndarray:
+        """Concatenate the buffered (undrained) events without sorting.
+
+        Used by migration snapshots: restoring via a single :meth:`append`
+        of this packet (with :attr:`is_ordered` carried alongside) rebuilds a
+        buffer whose future drains are byte-identical to the original's.
+        """
+        if not self._packets:
+            return empty_packet()
+        if len(self._packets) == 1:
+            return self._packets[0].copy()
+        return np.concatenate(self._packets)
 
     def drain_all(self) -> np.ndarray:
         """Remove and return everything buffered, time-sorted."""

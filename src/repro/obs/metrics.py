@@ -233,6 +233,37 @@ class _HistogramValue:
             cumulative.append((bound, running))
         return cumulative
 
+    def raw_state(self) -> dict:
+        """Raw (non-cumulative) serialisable state for cross-process merge."""
+        with self._lock:
+            return {
+                "bucket_counts": list(self._bucket_counts),
+                "count": self._count,
+                "sum": self._sum,
+                "window": list(self._window),
+            }
+
+    def merge_raw(self, state: dict) -> None:
+        """Fold another sample's :meth:`raw_state` into this one.
+
+        Bucket counts, lifetime count and sum add exactly; the percentile
+        window concatenates (and re-truncates to its capacity), which is
+        the best a bounded window can do — cross-process sample order is
+        arbitrary anyway and percentiles are order-free.
+        """
+        counts = state["bucket_counts"]
+        with self._lock:
+            if len(counts) != len(self._bucket_counts):
+                raise ValueError(
+                    f"histogram state has {len(counts)} buckets, "
+                    f"expected {len(self._bucket_counts)}"
+                )
+            for i, count in enumerate(counts):
+                self._bucket_counts[i] += count
+            self._count += state["count"]
+            self._sum += state["sum"]
+            self._window.extend(state["window"])
+
 
 class _MetricFamily:
     """Common machinery: a named metric plus its labelled children."""
@@ -432,6 +463,79 @@ class MetricsRegistry:
     def __len__(self) -> int:
         with self._lock:
             return len(self._families)
+
+    # -- cross-process state -------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete, JSON-serialisable snapshot of every family and child.
+
+        This is the wire format process shards use to report their metrics:
+        each worker process snapshots its registry, ships the plain dict
+        over its result pipe, and the hub folds the shards into one view
+        with :meth:`merge_state` — yielding a single exposition that spans
+        process boundaries (scrape round-trip asserted in the obs tests).
+        """
+        out = []
+        for family in self.families():
+            entry: dict = {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "children": [],
+            }
+            if isinstance(family, Histogram):
+                entry["buckets"] = list(family.buckets)
+                entry["window"] = family.window
+            for values, child in family.children():
+                if isinstance(child, _HistogramValue):
+                    entry["children"].append(
+                        {"labels": list(values), **child.raw_state()}
+                    )
+                else:
+                    entry["children"].append(
+                        {"labels": list(values), "value": child.value}
+                    )
+            out.append(entry)
+        return {"families": out}
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a :meth:`state_dict` snapshot into this registry.
+
+        Families are get-or-created with the snapshot's kind/labels (the
+        usual mismatch checks apply), then per child: counters **add**,
+        gauges **set** (last writer wins — shard/sensor labels keep writers
+        disjoint in practice), histograms merge bucket counts, totals and
+        percentile windows.  Merging K disjoint snapshots into a fresh
+        registry therefore reproduces exactly the exposition a single
+        shared registry would have produced.
+        """
+        for entry in state["families"]:
+            kind = entry["kind"]
+            labelnames = tuple(entry["labelnames"])
+            if kind == "counter":
+                family = self.counter(entry["name"], entry["help"], labelnames)
+            elif kind == "gauge":
+                family = self.gauge(entry["name"], entry["help"], labelnames)
+            elif kind == "histogram":
+                family = self.histogram(
+                    entry["name"],
+                    entry["help"],
+                    labelnames,
+                    buckets=entry["buckets"],
+                    window=entry["window"],
+                )
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} in state")
+            for child_state in entry["children"]:
+                labels = dict(zip(labelnames, child_state["labels"]))
+                child = family.labels(**labels)
+                if kind == "counter":
+                    child.inc(child_state["value"])
+                elif kind == "gauge":
+                    child.set(child_state["value"])
+                else:
+                    child.merge_raw(child_state)
 
     # -- exporters -----------------------------------------------------------------------
 

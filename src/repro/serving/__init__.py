@@ -11,16 +11,29 @@ into IoVT infrastructure, tracked online.
   running statistics and snapshot/restore.
 * :mod:`repro.serving.hub` — :class:`TrackingHub` shards sessions across
   worker threads with bounded queues and explicit backpressure.
+* :mod:`repro.serving.process_hub` — :class:`ProcessTrackingHub`, the
+  same scheduling surface with one worker *process* per shard, sidestepping
+  the GIL for CPU-bound fleets.
+* :mod:`repro.serving.transport` — the shared-memory event ring
+  (:class:`ShmRing`) feeding those workers, with a :class:`PipeRing`
+  fallback selected by :func:`make_ring`.
+* :mod:`repro.serving.rebalance` — :func:`plan_rebalance` turns per-shard
+  load stats into session migrations, executed live by either hub's
+  ``migrate_sensor`` using the session snapshot/restore envelopes.
 * :mod:`repro.serving.telemetry` — per-sensor event rates, frame latency
-  percentiles, queue depth and drop counts, exportable as JSON or
-  Prometheus text exposition (built on :mod:`repro.obs`).
+  percentiles, queue depth, per-shard load gauges and drop counts,
+  exportable as JSON or Prometheus text exposition (built on
+  :mod:`repro.obs`).
 * :mod:`repro.serving.protocol` / ``server`` / ``client`` — a JSONL
-  line-protocol TCP transport.
-* ``python -m repro.serving`` — live demo (in-process server + N synthetic
-  sensors) and a standalone server mode, mirroring ``python -m
-  repro.runtime`` for batch.
+  line-protocol TCP transport; :mod:`repro.serving.aioserver` is the
+  asyncio front door speaking the identical wire protocol.
+* ``python -m repro.serving`` — live demo / standalone server across the
+  hub x front-door matrix; ``python -m repro.serving.loadgen`` replays
+  fleets at N x speed and reports throughput, tail latency and SLO
+  verdicts.
 """
 
+from repro.serving.aioserver import AsyncTrackingServer
 from repro.serving.client import (
     SensorClient,
     fetch_trace,
@@ -29,6 +42,7 @@ from repro.serving.client import (
 )
 from repro.serving.framer import ClosedWindow, OnlineFramer
 from repro.serving.hub import BACKPRESSURE_POLICIES, HubConfig, TrackingHub
+from repro.serving.process_hub import ProcessTrackingHub
 from repro.serving.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -37,9 +51,39 @@ from repro.serving.protocol import (
     metrics_message,
     trace_message,
 )
+from repro.serving.rebalance import (
+    Move,
+    RebalancePolicy,
+    ShardStats,
+    plan_rebalance,
+)
 from repro.serving.server import TrackingServer
 from repro.serving.session import SensorSession, SessionSnapshot
 from repro.serving.telemetry import LatencyWindow, SensorTelemetry, TelemetryRegistry
+from repro.serving.transport import PipeRing, RingFull, ShmRing, make_ring
+
+#: Loadgen names are resolved lazily so ``python -m repro.serving.loadgen``
+#: does not import the module twice (runpy would warn about the package
+#: __init__ having already pulled it into ``sys.modules``).
+_LOADGEN_EXPORTS = frozenset(
+    {
+        "HUB_KINDS",
+        "make_hub",
+        "split_batches",
+        "build_workload",
+        "run_load",
+        "check_slos",
+    }
+)
+
+
+def __getattr__(name):
+    if name in _LOADGEN_EXPORTS:
+        from repro.serving import loadgen
+
+        return getattr(loadgen, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "OnlineFramer",
@@ -47,12 +91,28 @@ __all__ = [
     "SensorSession",
     "SessionSnapshot",
     "TrackingHub",
+    "ProcessTrackingHub",
     "HubConfig",
     "BACKPRESSURE_POLICIES",
+    "HUB_KINDS",
+    "make_hub",
+    "split_batches",
+    "build_workload",
+    "run_load",
+    "check_slos",
+    "ShmRing",
+    "PipeRing",
+    "RingFull",
+    "make_ring",
+    "RebalancePolicy",
+    "ShardStats",
+    "Move",
+    "plan_rebalance",
     "TelemetryRegistry",
     "SensorTelemetry",
     "LatencyWindow",
     "TrackingServer",
+    "AsyncTrackingServer",
     "SensorClient",
     "stream_recording",
     "scrape_metrics",

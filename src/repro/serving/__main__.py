@@ -9,15 +9,22 @@ Two modes:
 * **--serve** — run a standalone server until interrupted; remote sensor
   clients connect with :class:`repro.serving.client.SensorClient`.
 
+Both modes pick the serving architecture with two axes: ``--hub``
+selects thread-sharded sessions (in-process, GIL-bound) or the
+process-per-shard hub (shared-memory transport, true parallelism), and
+``--front-door`` selects the asyncio connection handler (default; one
+coroutine per sensor) or the legacy thread-per-connection acceptor.  The
+wire protocol is identical on every combination.
+
 Examples
 --------
 Live demo, eight synthetic sensors of two seconds each::
 
     PYTHONPATH=src python -m repro.serving --sensors 8 --duration 2
 
-Standalone server on a fixed port::
+Standalone process-hub server on a fixed port::
 
-    PYTHONPATH=src python -m repro.serving --serve --port 7700
+    PYTHONPATH=src python -m repro.serving --serve --port 7700 --hub process
 
 Replay a recorded manifest-backed dataset from disk as the demo's sensors,
 paced at twice sensor speed::
@@ -42,12 +49,17 @@ from typing import List, Optional
 from repro.core.config import EbbiotConfig
 from repro.obs import add_log_level_argument, logging_setup
 from repro.runtime.scenes import build_scene_recordings
+from repro.serving.aioserver import AsyncTrackingServer
 from repro.serving.client import stream_recording
 from repro.serving.hub import BACKPRESSURE_POLICIES, HubConfig
+from repro.serving.loadgen import HUB_KINDS, make_hub
 from repro.serving.server import TrackingServer
 from repro.trackers.registry import available_backends, parse_backend_list
 
 logger = logging.getLogger("repro.serving")
+
+#: ``--front-door`` choices: connection-handling architectures.
+FRONT_DOORS = ("asyncio", "threaded")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -112,10 +124,35 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--hub",
+        choices=HUB_KINDS,
+        default="thread",
+        help="shard sessions across worker threads or worker processes",
+    )
+    parser.add_argument(
+        "--front-door",
+        choices=FRONT_DOORS,
+        default="asyncio",
+        help="connection handling: one coroutine per sensor on a shared "
+        "event loop (default), or the legacy thread-per-connection acceptor",
+    )
+    parser.add_argument(
         "--workers", type=int, default=4, help="hub worker shards"
     )
     parser.add_argument(
         "--queue-capacity", type=int, default=64, help="batches buffered per shard"
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("shm", "pipe", "auto"),
+        default="auto",
+        help="process-hub event transport (shared-memory ring or pipes)",
+    )
+    parser.add_argument(
+        "--ring-kib",
+        type=int,
+        default=1024,
+        help="shared-memory ring capacity per shard in KiB (process hub)",
     )
     parser.add_argument(
         "--backpressure",
@@ -206,7 +243,18 @@ def _hub_config(args: argparse.Namespace) -> HubConfig:
         pipeline_config=EbbiotConfig(tracker=_trackers(args)[0]),
         instrument=_instrumented(args),
         trace_sample_every=args.trace_sample,
+        transport=args.transport,
+        ring_capacity_bytes=args.ring_kib * 1024,
     )
+
+
+def _make_server(args: argparse.Namespace):
+    """A started-ready server from the ``--hub`` x ``--front-door`` matrix."""
+    hub = make_hub(args.hub, _hub_config(args))
+    server_cls = (
+        AsyncTrackingServer if args.front_door == "asyncio" else TrackingServer
+    )
+    return server_cls(args.host, args.port, hub=hub)
 
 
 def _demo_recordings(args: argparse.Namespace) -> List[tuple]:
@@ -242,11 +290,12 @@ def run_demo(args: argparse.Namespace) -> int:
         logger.error("error: %s", error)
         return 2
     trackers = _trackers(args)
-    with TrackingServer(args.host, args.port, _hub_config(args)) as server:
+    with _make_server(args) as server:
         host, port = server.address
         print(
             f"tracking server listening on {host}:{port} "
-            f"(tracker(s): {', '.join(trackers)})"
+            f"({args.hub} hub, {args.front_door} front door, "
+            f"tracker(s): {', '.join(trackers)})"
         )
         with ThreadPoolExecutor(max_workers=max(1, len(recordings))) as pool:
             futures = [
@@ -264,7 +313,7 @@ def run_demo(args: argparse.Namespace) -> int:
                 for index, (name, stream) in enumerate(recordings)
             ]
             outcomes = [future.result() for future in futures]
-        telemetry = server.hub.telemetry.to_dict()
+        telemetry = server.hub.telemetry_dict()
         batch = server.hub.batch_result()
         exposition = server.hub.metrics_text() if args.metrics is not None else None
         trace = server.hub.chrome_trace() if args.trace is not None else None
@@ -314,9 +363,16 @@ def run_demo(args: argparse.Namespace) -> int:
 
 def run_server(args: argparse.Namespace) -> int:
     """Standalone server mode (blocks until KeyboardInterrupt)."""
-    server = TrackingServer(args.host, args.port, _hub_config(args))
+    server = _make_server(args)
+    if args.front_door == "asyncio":
+        # The asyncio server binds lazily; start it to learn the port.
+        server.start()
     host, port = server.address
-    print(f"tracking server listening on {host}:{port} (Ctrl-C to stop)", flush=True)
+    print(
+        f"tracking server listening on {host}:{port} "
+        f"({args.hub} hub, {args.front_door} front door; Ctrl-C to stop)",
+        flush=True,
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -340,6 +396,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     if args.speed is not None and args.speed <= 0:
         logger.error("error: --speed must be positive")
+        return 2
+    if args.ring_kib <= 0:
+        logger.error("error: --ring-kib must be positive")
         return 2
     try:
         _hub_config(args)

@@ -33,6 +33,28 @@ from repro.events.types import empty_packet, normalize_packet
 
 
 @dataclass(frozen=True)
+class FramerSnapshot:
+    """Complete live state of an :class:`OnlineFramer` at a batch boundary.
+
+    Unlike :class:`~repro.serving.session.SessionSnapshot` (which round-trips
+    only the pipeline and deliberately drops in-flight events), this captures
+    the spool too, so a migrated session resumes with byte-identical output:
+    pending events, watermark position, window cursor, and loss counters.
+    """
+
+    frame_duration_us: int
+    reorder_slack_us: int
+    t_origin_us: int
+    next_window_start: int
+    next_frame_index: int
+    late_events: int
+    events_accepted: int
+    max_seen_t: Optional[int]
+    pending_events: np.ndarray
+    pending_ordered: bool
+
+
+@dataclass(frozen=True)
 class ClosedWindow:
     """One completed EBBI accumulation window emitted by the framer."""
 
@@ -140,6 +162,42 @@ class OnlineFramer:
         if max_seen is None or max_seen < self._next_window_start:
             return []
         return self._close_through(max_seen + 1, force=True)
+
+    # -- migration -----------------------------------------------------------------------
+
+    def snapshot(self) -> FramerSnapshot:
+        """Capture the full live state (spool included) for migration."""
+        return FramerSnapshot(
+            frame_duration_us=self.frame_duration_us,
+            reorder_slack_us=self.reorder_slack_us,
+            t_origin_us=self.t_origin_us,
+            next_window_start=self._next_window_start,
+            next_frame_index=self._next_frame_index,
+            late_events=self._late_events,
+            events_accepted=self._events_accepted,
+            max_seen_t=self._buffer.max_seen_t,
+            pending_events=self._buffer.pending_packet(),
+            pending_ordered=self._buffer.is_ordered,
+        )
+
+    def restore(self, snapshot: FramerSnapshot) -> None:
+        """Resume from a :meth:`snapshot`; future output is byte-identical."""
+        if snapshot.frame_duration_us != self.frame_duration_us:
+            raise ValueError(
+                f"snapshot frame_duration_us {snapshot.frame_duration_us} != "
+                f"framer frame_duration_us {self.frame_duration_us}"
+            )
+        self.reorder_slack_us = snapshot.reorder_slack_us
+        self.t_origin_us = snapshot.t_origin_us
+        self._next_window_start = snapshot.next_window_start
+        self._next_frame_index = snapshot.next_frame_index
+        self._late_events = snapshot.late_events
+        self._events_accepted = snapshot.events_accepted
+        self._buffer.restore(
+            snapshot.pending_events,
+            snapshot.max_seen_t,
+            ordered=snapshot.pending_ordered,
+        )
 
     # -- internals -----------------------------------------------------------------------
 

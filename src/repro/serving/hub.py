@@ -35,6 +35,12 @@ import numpy as np
 from repro.core.config import EbbiotConfig
 from repro.core.pipeline import FrameResult
 from repro.runtime.aggregate import BatchResult, RecordingResult
+from repro.serving.rebalance import (
+    Move,
+    RebalancePolicy,
+    ShardStats,
+    plan_rebalance,
+)
 from repro.serving.session import SensorSession
 from repro.serving.telemetry import TelemetryRegistry
 
@@ -74,6 +80,24 @@ class HubConfig:
     trace_sample_every:
         Trace every Nth frame window per sensor (1 = all); bounds trace
         growth on long-lived hubs without affecting the stage metrics.
+    rebalance:
+        Optional :class:`~repro.serving.rebalance.RebalancePolicy`.  When
+        set, the hub samples its shard loads every
+        ``rebalance_check_every`` submitted batches and migrates sessions
+        off overloaded shards (drain → snapshot → restore, invisible in the
+        output).  ``None`` (default) keeps placement purely hash-based.
+    rebalance_check_every:
+        Submit-count stride between rebalance evaluations; keeps the check
+        off the per-batch hot path.
+    transport:
+        Event transport of the *process* hub: ``"shm"`` (shared-memory
+        ring, falls back to pipes when unavailable), ``"pipe"``, or
+        ``"auto"``.  Ignored by the thread hub.
+    ring_capacity_bytes:
+        Byte capacity of each shard's shared-memory ring (process hub
+        only).  This, rather than ``queue_capacity``, is what bounds
+        in-flight data per shard there; size it for the expected batch
+        size × desired queue depth.
     """
 
     num_workers: int = 4
@@ -84,6 +108,10 @@ class HubConfig:
     collect_frames: bool = False
     instrument: bool = False
     trace_sample_every: int = 1
+    rebalance: Optional[RebalancePolicy] = None
+    rebalance_check_every: int = 64
+    transport: str = "auto"
+    ring_capacity_bytes: int = 1 << 20
 
     def __post_init__(self) -> None:
         if self.trace_sample_every < 1:
@@ -104,6 +132,18 @@ class HubConfig:
         if self.reorder_slack_us < 0:
             raise ValueError(
                 f"reorder_slack_us must be non-negative, got {self.reorder_slack_us}"
+            )
+        if self.rebalance_check_every < 1:
+            raise ValueError(
+                f"rebalance_check_every must be >= 1, got {self.rebalance_check_every}"
+            )
+        if self.transport not in ("shm", "pipe", "auto"):
+            raise ValueError(
+                f"transport must be 'shm', 'pipe' or 'auto', got {self.transport!r}"
+            )
+        if self.ring_capacity_bytes < 4096:
+            raise ValueError(
+                f"ring_capacity_bytes must be >= 4096, got {self.ring_capacity_bytes}"
             )
 
 
@@ -126,6 +166,28 @@ class _Stop:
     pass
 
 
+@dataclass
+class _Handoff:
+    """Shared state of one in-flight migration (source ↔ target shard)."""
+
+    sensor_id: str
+    target: int
+    ready: threading.Event = field(default_factory=threading.Event)
+    completed: threading.Event = field(default_factory=threading.Event)
+    envelope: Optional[object] = None
+    error: Optional[BaseException] = None
+
+
+@dataclass
+class _MigrateOut:
+    handoff: _Handoff
+
+
+@dataclass
+class _MigrateIn:
+    handoff: _Handoff
+
+
 class TrackingHub:
     """Shards live :class:`SensorSession` objects across worker threads."""
 
@@ -139,6 +201,7 @@ class TrackingHub:
             self.tracer = Tracer()
         self._sessions: Dict[str, SensorSession] = {}
         self._callbacks: Dict[str, Optional[FramesCallback]] = {}
+        self._shard_map: Dict[str, int] = {}
         self._sessions_lock = threading.Lock()
         self._queues: List[queue.Queue] = [
             queue.Queue(maxsize=self.config.queue_capacity)
@@ -148,6 +211,10 @@ class TrackingHub:
         self._started = False
         self._closed_results: List[RecordingResult] = []
         self._started_at = 0.0
+        self._shard_busy_s = [0.0] * self.config.num_workers
+        self._migrations = 0
+        self._submits_until_rebalance = self.config.rebalance_check_every
+        self._rebalance_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------------------
 
@@ -187,13 +254,9 @@ class TrackingHub:
 
     # -- sensor management ---------------------------------------------------------------
 
-    def register(
-        self,
-        sensor_id: str,
-        config: Optional[EbbiotConfig] = None,
-        on_frames: Optional[FramesCallback] = None,
+    def _build_session(
+        self, sensor_id: str, config: Optional[EbbiotConfig]
     ) -> SensorSession:
-        """Create the session for a new sensor (error if it already exists)."""
         instrumentation = None
         if self.config.instrument:
             from repro.obs import Instrumentation
@@ -204,7 +267,7 @@ class TrackingHub:
                 labels={"sensor": sensor_id},
                 sample_every=self.config.trace_sample_every,
             )
-        session = SensorSession(
+        return SensorSession(
             sensor_id,
             config=config or self.config.pipeline_config,
             reorder_slack_us=self.config.reorder_slack_us,
@@ -214,11 +277,33 @@ class TrackingHub:
             keep_history=self.config.collect_frames,
             instrumentation=instrumentation,
         )
+
+    def register(
+        self,
+        sensor_id: str,
+        config: Optional[EbbiotConfig] = None,
+        on_frames: Optional[FramesCallback] = None,
+        shard: Optional[int] = None,
+    ) -> SensorSession:
+        """Create the session for a new sensor (error if it already exists).
+
+        ``shard`` overrides the hash placement (used by tests and by
+        restore-after-rebalance paths); the assignment may later change if
+        a rebalance policy is active.
+        """
+        if shard is not None and not 0 <= shard < self.config.num_workers:
+            raise ValueError(
+                f"shard must be in [0, {self.config.num_workers}), got {shard}"
+            )
+        session = self._build_session(sensor_id, config)
         with self._sessions_lock:
             if sensor_id in self._sessions:
                 raise ValueError(f"sensor {sensor_id!r} is already registered")
             self._sessions[sensor_id] = session
             self._callbacks[sensor_id] = on_frames
+            self._shard_map[sensor_id] = (
+                shard if shard is not None else self._hash_shard(sensor_id)
+            )
         self.telemetry.sensor(sensor_id).set_tracker(session.backend_name)
         return session
 
@@ -233,10 +318,22 @@ class TrackingHub:
         with self._sessions_lock:
             self._sessions.pop(sensor_id, None)
             self._callbacks.pop(sensor_id, None)
+            self._shard_map.pop(sensor_id, None)
+
+    def _hash_shard(self, sensor_id: str) -> int:
+        return zlib.crc32(sensor_id.encode("utf-8")) % self.config.num_workers
 
     def shard_of(self, sensor_id: str) -> int:
-        """The worker shard a sensor id maps to (stable across runs)."""
-        return zlib.crc32(sensor_id.encode("utf-8")) % self.config.num_workers
+        """The worker shard a sensor is currently assigned to.
+
+        For a registered sensor this reflects migrations; for an unknown id
+        it is the stable hash placement the sensor would initially get.
+        """
+        with self._sessions_lock:
+            assigned = self._shard_map.get(sensor_id)
+        if assigned is not None:
+            return assigned
+        return self._hash_shard(sensor_id)
 
     @property
     def num_sensors(self) -> int:
@@ -252,24 +349,51 @@ class TrackingHub:
         Returns ``True`` if the batch was accepted, ``False`` if it was shed
         by the ``"drop"`` backpressure policy (counted in telemetry).
         """
+        return self._submit(sensor_id, events, blocking=self.config.backpressure == "block")
+
+    def try_submit(self, sensor_id: str, events: np.ndarray) -> bool:
+        """Non-blocking :meth:`submit` regardless of the backpressure policy.
+
+        The asyncio front door uses this: an event-loop thread must never
+        park on a full shard queue, so it attempts the enqueue and applies
+        its own asynchronous backoff when this returns ``False``.  Unlike a
+        ``"drop"``-policy :meth:`submit`, a refused batch is *not* counted
+        as dropped — the caller still owns it and may retry.
+        """
+        return self._submit(sensor_id, events, blocking=False, count_refusals=False)
+
+    def _submit(
+        self,
+        sensor_id: str,
+        events: np.ndarray,
+        blocking: bool,
+        count_refusals: bool = True,
+    ) -> bool:
         if not self._started:
             raise RuntimeError("hub is not started")
         with self._sessions_lock:
-            if sensor_id not in self._sessions:
-                raise KeyError(f"sensor {sensor_id!r} is not registered")
-        shard_queue = self._queues[self.shard_of(sensor_id)]
+            shard = self._shard_map.get(sensor_id)
+        if shard is None:
+            raise KeyError(f"sensor {sensor_id!r} is not registered")
+        shard_queue = self._queues[shard]
         item = _Ingest(sensor_id, events, time.perf_counter())
         record = self.telemetry.sensor(sensor_id)
-        if self.config.backpressure == "block":
+        if blocking:
             shard_queue.put(item)
         else:
             try:
                 shard_queue.put_nowait(item)
             except queue.Full:
-                record.record_drop(len(events))
+                if count_refusals:
+                    record.record_drop(len(events))
                 return False
         record.record_batch(len(events))
         record.set_queue_depth(shard_queue.qsize())
+        if self.config.rebalance is not None:
+            self._submits_until_rebalance -= 1
+            if self._submits_until_rebalance <= 0:
+                self._submits_until_rebalance = self.config.rebalance_check_every
+                self.maybe_rebalance()
         return True
 
     def close_sensor(self, sensor_id: str, timeout: Optional[float] = None) -> RecordingResult:
@@ -293,6 +417,106 @@ class TrackingHub:
         assert item.result is not None
         return item.result
 
+    # -- migration / rebalance -----------------------------------------------------------
+
+    def migrate_sensor(
+        self, sensor_id: str, target_shard: int, timeout: Optional[float] = 60.0
+    ) -> bool:
+        """Move a live sensor to another shard (drain → snapshot → restore).
+
+        The shard map flips first, so batches submitted from now on land on
+        the target queue *behind* a barrier item: the target worker waits
+        there until the source worker has drained every batch enqueued
+        before the flip, exported the session's
+        :class:`~repro.serving.session.MigrationEnvelope`, and handed it
+        over.  Per-sensor ordering is therefore preserved end to end and
+        the output stream is byte-identical to an unmigrated run.
+
+        Returns ``True`` if a migration was performed, ``False`` if the
+        sensor was already on ``target_shard``.
+        """
+        if not self._started:
+            raise RuntimeError("hub is not started")
+        if not 0 <= target_shard < self.config.num_workers:
+            raise ValueError(
+                f"target_shard must be in [0, {self.config.num_workers}), "
+                f"got {target_shard}"
+            )
+        with self._sessions_lock:
+            source = self._shard_map.get(sensor_id)
+            if source is None:
+                raise KeyError(f"sensor {sensor_id!r} is not registered")
+            if source == target_shard:
+                return False
+            self._shard_map[sensor_id] = target_shard
+        handoff = _Handoff(sensor_id=sensor_id, target=target_shard)
+        self._queues[source].put(_MigrateOut(handoff))
+        self._queues[target_shard].put(_MigrateIn(handoff))
+        if not handoff.completed.wait(timeout):
+            raise TimeoutError(f"timed out migrating sensor {sensor_id!r}")
+        if handoff.error is not None:
+            raise handoff.error
+        self._migrations += 1
+        return True
+
+    def shard_stats(self) -> List[ShardStats]:
+        """Per-shard load sample: sensor count, queue depth, busy fraction.
+
+        The busy fraction is cumulative time the shard's worker spent
+        handling items divided by the hub's uptime — the long-run
+        utilisation the ``repro_shard_busy_fraction`` gauge exports.
+        """
+        uptime = time.perf_counter() - self._started_at if self._started_at else 0.0
+        with self._sessions_lock:
+            per_shard = [0] * self.config.num_workers
+            for shard in self._shard_map.values():
+                per_shard[shard] += 1
+        return [
+            ShardStats(
+                shard=shard,
+                num_sensors=per_shard[shard],
+                queue_depth=self._queues[shard].qsize(),
+                busy_fraction=(
+                    min(1.0, self._shard_busy_s[shard] / uptime) if uptime > 0 else 0.0
+                ),
+            )
+            for shard in range(self.config.num_workers)
+        ]
+
+    def sensor_shards(self) -> Dict[str, int]:
+        """Snapshot of the current sensor → shard assignment."""
+        with self._sessions_lock:
+            return dict(self._shard_map)
+
+    @property
+    def migrations_performed(self) -> int:
+        """Completed sensor migrations (manual and rebalancer-initiated)."""
+        return self._migrations
+
+    def maybe_rebalance(self) -> List[Move]:
+        """Apply the configured rebalance policy once; returns moves made.
+
+        Safe to call from any thread; concurrent calls coalesce (only one
+        evaluates, the rest return immediately with no moves).
+        """
+        policy = self.config.rebalance
+        if policy is None:
+            return []
+        if not self._rebalance_lock.acquire(blocking=False):
+            return []
+        try:
+            moves = plan_rebalance(self.shard_stats(), self.sensor_shards(), policy)
+            performed = []
+            for move in moves:
+                try:
+                    if self.migrate_sensor(move.sensor_id, move.target):
+                        performed.append(move)
+                except KeyError:
+                    continue  # sensor closed/removed since the plan was made
+            return performed
+        finally:
+            self._rebalance_lock.release()
+
     def batch_result(self) -> BatchResult:
         """Fleet summary over all sensors closed so far.
 
@@ -311,10 +535,30 @@ class TrackingHub:
 
         Always available (the telemetry counters live there regardless of
         instrumentation); with ``instrument`` it additionally carries the
-        per-sensor pipeline-stage seconds.  This is what the protocol's
-        ``metrics`` command returns.
+        per-sensor pipeline-stage seconds.  The per-shard load gauges are
+        refreshed on every call so a scrape always sees current queue
+        depths.  This is what the protocol's ``metrics`` command returns.
         """
+        if self._started:
+            self.telemetry.set_shard_stats(self.shard_stats())
         return self.telemetry.to_prometheus_text()
+
+    def telemetry_dict(self) -> dict:
+        """JSON telemetry snapshot (hub-agnostic accessor used by servers).
+
+        The process hub's equivalent merges worker-side registries first;
+        front doors call this instead of ``hub.telemetry.to_dict()`` so
+        they behave identically over either hub.
+        """
+        return self.telemetry.to_dict()
+
+    def merged_metrics(self):
+        """The hub's full metrics registry (hub-agnostic accessor).
+
+        Everything already lives in one registry here; the process hub's
+        equivalent merges the worker-process registries first.
+        """
+        return self.telemetry.metrics
 
     def chrome_trace(self) -> Optional[dict]:
         """The hub's live Chrome trace, or ``None`` when not instrumented.
@@ -334,6 +578,7 @@ class TrackingHub:
         shard_queue = self._queues[shard]
         while True:
             item = shard_queue.get()
+            started = time.perf_counter()
             try:
                 if isinstance(item, _Stop):
                     return
@@ -344,6 +589,10 @@ class TrackingHub:
                         # Never leave a close_sensor() caller hanging.
                         item.error = error
                         item.done.set()
+                elif isinstance(item, _MigrateOut):
+                    self._handle_migrate_out(item.handoff)
+                elif isinstance(item, _MigrateIn):
+                    self._handle_migrate_in(item.handoff)
                 else:
                     try:
                         self._handle_ingest(item, shard_queue)
@@ -355,7 +604,50 @@ class TrackingHub:
                             len(item.events)
                         )
             finally:
+                self._shard_busy_s[shard] += time.perf_counter() - started
                 shard_queue.task_done()
+
+    def _handle_migrate_out(self, handoff: _Handoff) -> None:
+        """Source-shard half of a migration: drain done, export the state.
+
+        Runs after every batch enqueued before the shard-map flip (FIFO), so
+        the session is quiescent here.
+        """
+        try:
+            with self._sessions_lock:
+                session = self._sessions[handoff.sensor_id]
+            handoff.envelope = session.export_migration()
+        except BaseException as error:
+            handoff.error = error
+        finally:
+            handoff.ready.set()
+
+    def _handle_migrate_in(self, handoff: _Handoff) -> None:
+        """Target-shard half: wait for the envelope, restore, swap in.
+
+        This is the barrier that holds back batches already queued behind it
+        on the target shard until the hand-off completes.  The wait cannot
+        deadlock — the source worker always sets ``ready`` (even on error)
+        and never waits on the target — but is bounded anyway so a crashed
+        source thread cannot freeze the shard forever.
+        """
+        try:
+            if not handoff.ready.wait(timeout=60.0):
+                raise TimeoutError(
+                    f"migration of {handoff.sensor_id!r} timed out waiting "
+                    "for the source shard"
+                )
+            if handoff.error is not None:
+                return
+            envelope = handoff.envelope
+            session = self._build_session(handoff.sensor_id, envelope.pipeline_config)
+            session.restore_migration(envelope)
+            with self._sessions_lock:
+                self._sessions[handoff.sensor_id] = session
+        except BaseException as error:
+            handoff.error = error
+        finally:
+            handoff.completed.set()
 
     def _handle_ingest(self, item: _Ingest, shard_queue: queue.Queue) -> None:
         with self._sessions_lock:

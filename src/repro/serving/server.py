@@ -126,7 +126,7 @@ class _SensorConnectionHandler(socketserver.StreamRequestHandler):
             hub.submit(self.sensor_id, packet)
             return True
         if kind == "stats":
-            self._send(stats_message(hub.telemetry.to_dict()))
+            self._send(stats_message(hub.telemetry_dict()))
             return True
         if kind == "finish":
             result = hub.close_sensor(self.sensor_id)
@@ -236,7 +236,13 @@ class TrackingServer:
     host, port:
         Bind address; port 0 picks an ephemeral port (see :attr:`address`).
     hub_config:
-        Configuration for the owned hub.
+        Configuration for the owned hub (ignored when ``hub`` is given).
+    hub:
+        An already-constructed hub to front — either a
+        :class:`~repro.serving.hub.TrackingHub` or a
+        :class:`~repro.serving.process_hub.ProcessTrackingHub`; both expose
+        the same scheduling surface.  The server owns its lifecycle either
+        way.
     """
 
     def __init__(
@@ -244,8 +250,9 @@ class TrackingServer:
         host: str = "127.0.0.1",
         port: int = 0,
         hub_config: Optional[HubConfig] = None,
+        hub=None,
     ) -> None:
-        self.hub = TrackingHub(hub_config)
+        self.hub = hub if hub is not None else TrackingHub(hub_config)
         self._tcp = _TcpServer((host, port), self.hub)
         self._acceptor: Optional[threading.Thread] = None
 

@@ -35,7 +35,7 @@ import numpy as np
 from repro.core.config import EbbiotConfig
 from repro.core.pipeline import EbbiotPipeline, FrameResult, PipelineResult, PipelineState
 from repro.runtime.aggregate import RecordingResult
-from repro.serving.framer import OnlineFramer
+from repro.serving.framer import FramerSnapshot, OnlineFramer
 
 
 @dataclass(frozen=True)
@@ -52,6 +52,29 @@ class SessionSnapshot:
     pipeline: PipelineState
     frames_processed: int
     events_ingested: int
+
+
+@dataclass(frozen=True)
+class MigrationEnvelope:
+    """Everything needed to move a live session between shards mid-stream.
+
+    Wraps the PR 2 :class:`SessionSnapshot` (the pipeline checkpoint) and
+    adds what a *hot* hand-off additionally needs: the framer's full state —
+    spooled events included, via :class:`FramerSnapshot` — plus the summary
+    counters, so the restored session's future frames **and** its final
+    summary are identical to an unmigrated run.  Envelopes are plain
+    picklable data: process shards ship them over their control pipes.
+    """
+
+    session: SessionSnapshot
+    framer: FramerSnapshot
+    busy_s: float
+    num_observations: int
+    track_ids: frozenset
+    proposal_count: int
+    collect_frames: bool
+    keep_history: bool
+    pipeline_config: EbbiotConfig
 
 
 class SensorSession:
@@ -115,6 +138,31 @@ class SensorSession:
         frames = [self._process(w) for w in self.framer.append(events)]
         self._busy_s += time.perf_counter() - started
         return frames
+
+    def ingest_many(self, batches: List[np.ndarray]) -> List[FrameResult]:
+        """Feed a backlog of batches as one coalesced spool append.
+
+        For in-order input this closes exactly the windows per-batch
+        :meth:`ingest` would close, with identical contents — but the
+        per-append bookkeeping (normalize, late mask, watermark advance,
+        window-close scan) runs once per backlog instead of once per batch.
+        For disordered input it is *at least* as faithful: an event that
+        per-batch ingestion would drop as late can be rescued into its
+        correct window when that window had not yet closed at the start of
+        the backlog, matching batch replay more closely and never dropping
+        more.  This is the process shard's fast path: under load the ring
+        naturally hands the worker many batches at once, and coalescing them
+        is what keeps a saturated shard at batch-replay throughput.
+
+        Batches must already be canonical ``EVENT_DTYPE`` packets (the wire
+        and transport layers guarantee this); normalization of the coalesced
+        packet happens in the framer.
+        """
+        if len(batches) == 1:
+            return self.ingest(batches[0])
+        if not batches:
+            return []
+        return self.ingest(np.concatenate(batches))
 
     def finish(self) -> List[FrameResult]:
         """End of stream: flush the framer and process the tail windows."""
@@ -186,6 +234,50 @@ class SensorSession:
                 f"not {self.sensor_id!r}"
             )
         self.pipeline.restore(snapshot.pipeline)
+
+    def export_migration(self) -> MigrationEnvelope:
+        """Package the complete live state for a shard-to-shard hand-off.
+
+        Call with the session drained (no concurrent :meth:`ingest`); the
+        source session must not be used afterwards.
+        """
+        if self._finished:
+            raise RuntimeError(
+                f"session {self.sensor_id!r} is finished; nothing to migrate"
+            )
+        return MigrationEnvelope(
+            session=self.snapshot(),
+            framer=self.framer.snapshot(),
+            busy_s=self._busy_s,
+            num_observations=self._num_observations,
+            track_ids=frozenset(self._track_ids),
+            proposal_count=self.result.proposal_count,
+            collect_frames=self.collect_frames,
+            keep_history=self.keep_history,
+            pipeline_config=self.pipeline.config,
+        )
+
+    def restore_migration(self, envelope: MigrationEnvelope) -> None:
+        """Resume a migrated session; future output is byte-identical.
+
+        The receiving session must be freshly constructed for the same
+        sensor with the same pipeline configuration (the hub guarantees
+        both); the pipeline checkpoint re-validates the backend match.
+        """
+        if self.frames_processed or self.events_ingested:
+            raise RuntimeError(
+                f"cannot restore a migration onto session {self.sensor_id!r} "
+                "that has already processed data"
+            )
+        self.restore(envelope.session)
+        self.framer.restore(envelope.framer)
+        self.result.frames_processed = envelope.session.frames_processed
+        self.result.proposal_count = envelope.proposal_count
+        self._busy_s = envelope.busy_s
+        self._num_observations = envelope.num_observations
+        self._track_ids = set(envelope.track_ids)
+        self.collect_frames = envelope.collect_frames
+        self.keep_history = envelope.keep_history
 
     # -- summary -------------------------------------------------------------------------
 

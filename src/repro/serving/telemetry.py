@@ -301,6 +301,37 @@ class TelemetryRegistry:
         with self._lock:
             return len(self._sensors)
 
+    def set_shard_stats(self, stats) -> None:
+        """Refresh the per-shard gauges from a hub load sample.
+
+        Exports ``repro_shard_queue_depth``, ``repro_shard_sensors`` and
+        ``repro_shard_busy_fraction``, each labelled by ``shard`` — the
+        exact numbers the rebalance policy ranks shards by, so a scrape
+        shows the imbalance the hub is reacting to.  Hubs call this right
+        before exposition; both the thread and the process hub export the
+        same families.
+        """
+        depth = self.metrics.gauge(
+            "repro_shard_queue_depth",
+            "Batches queued on the shard awaiting processing",
+            labelnames=("shard",),
+        )
+        sensors = self.metrics.gauge(
+            "repro_shard_sensors",
+            "Sensors currently assigned to the shard",
+            labelnames=("shard",),
+        )
+        busy = self.metrics.gauge(
+            "repro_shard_busy_fraction",
+            "Fraction of hub uptime the shard worker spent processing",
+            labelnames=("shard",),
+        )
+        for stat in stats:
+            label = str(stat.shard)
+            depth.labels(shard=label).set(float(stat.queue_depth))
+            sensors.labels(shard=label).set(float(stat.num_sensors))
+            busy.labels(shard=label).set(stat.busy_fraction)
+
     def to_prometheus_text(self) -> str:
         """The whole registry in Prometheus text exposition format."""
         return self.metrics.to_prometheus_text()

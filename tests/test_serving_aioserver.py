@@ -1,0 +1,138 @@
+"""Tests for the asyncio JSONL front door, fronting both hub flavours.
+
+The asyncio server promises byte-compatibility with the threaded one:
+every test here drives it through the unchanged :mod:`repro.serving.client`
+helpers, which speak the same protocol as production sensors.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core import EbbiotConfig, EbbiotPipeline
+from repro.events.stream import EventStream
+from repro.events.types import make_packet
+from repro.obs import parse_prometheus_text, sample_value
+from repro.serving import HubConfig, scrape_metrics, stream_recording
+from repro.serving.aioserver import AsyncTrackingServer
+from repro.serving.hub import TrackingHub
+from repro.serving.process_hub import ProcessTrackingHub
+
+HUBS = {"thread": TrackingHub, "process": ProcessTrackingHub}
+
+
+def _moving_block_stream(seed: int, num_frames: int = 10) -> EventStream:
+    rng = np.random.default_rng(seed)
+    xs, ys, ts = [], [], []
+    for frame_index in range(num_frames):
+        x0 = 20 + 3 * frame_index
+        t = frame_index * 66_000 + 10_000
+        for dy in range(6):
+            for dx in range(6):
+                xs.append(x0 + dx)
+                ys.append(70 + dy)
+                ts.append(t + int(rng.integers(0, 40_000)))
+    packet = make_packet(xs, ys, ts, [1] * len(xs))
+    return EventStream(packet, 240, 180)
+
+
+class TestAsyncServer:
+    @pytest.mark.parametrize("kind", sorted(HUBS))
+    def test_round_trip_matches_batch_pipeline(self, kind):
+        stream = _moving_block_stream(seed=1)
+        expected = EbbiotPipeline(EbbiotConfig()).process_stream(stream)
+        hub = HUBS[kind](HubConfig(num_workers=2))
+        with AsyncTrackingServer(hub=hub) as server:
+            host, port = server.address
+            frames, summary = stream_recording(host, port, "cam", stream)
+        assert summary["name"] == "cam"
+        assert summary["num_events"] == len(stream)
+        assert summary["num_frames"] == expected.num_frames
+        assert len(frames) == expected.num_frames
+        wire_tracks = [track for frame in frames for track in frame["tracks"]]
+        assert len(wire_tracks) == expected.total_track_observations()
+        for wire, obs in zip(wire_tracks, expected.track_history.observations):
+            assert wire["track_id"] == obs.track_id
+            assert wire["x"] == pytest.approx(obs.box.x)
+
+    @pytest.mark.parametrize("kind", sorted(HUBS))
+    def test_eight_concurrent_sensors(self, kind):
+        streams = {f"cam-{i}": _moving_block_stream(seed=i) for i in range(8)}
+        hub = HUBS[kind](HubConfig(num_workers=4))
+        with AsyncTrackingServer(hub=hub) as server:
+            host, port = server.address
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                futures = {
+                    sensor_id: pool.submit(
+                        stream_recording, host, port, sensor_id, stream
+                    )
+                    for sensor_id, stream in streams.items()
+                }
+                outcomes = {sid: f.result(timeout=60) for sid, f in futures.items()}
+            telemetry = server.hub.telemetry_dict()
+
+        assert telemetry["totals"]["num_sensors"] == 8
+        for sensor_id, stream in streams.items():
+            frames, summary = outcomes[sensor_id]
+            assert summary["name"] == sensor_id
+            assert summary["num_events"] == len(stream)
+            assert len(frames) == summary["num_frames"] > 0
+
+    @pytest.mark.parametrize("kind", sorted(HUBS))
+    def test_metrics_scrape_over_the_wire(self, kind):
+        stream = _moving_block_stream(seed=2)
+        hub = HUBS[kind](HubConfig(num_workers=2))
+        with AsyncTrackingServer(hub=hub) as server:
+            host, port = server.address
+            stream_recording(host, port, "cam", stream)
+            samples = parse_prometheus_text(scrape_metrics(host, port))
+        assert sample_value(
+            samples, "repro_sensor_events_received_total", sensor="cam"
+        ) == float(len(stream))
+        for shard in ("0", "1"):
+            assert (
+                sample_value(samples, "repro_shard_sensors", shard=shard)
+                is not None
+            )
+
+    def test_duplicate_sensor_id_rejected(self):
+        from repro.serving import ProtocolError, SensorClient
+
+        with AsyncTrackingServer(hub_config=HubConfig(num_workers=1)) as server:
+            host, port = server.address
+            with SensorClient(host, port, "cam"):
+                with pytest.raises(ProtocolError):
+                    SensorClient(host, port, "cam")
+
+    def test_stop_is_idempotent_and_port_reusable(self):
+        server = AsyncTrackingServer(hub_config=HubConfig(num_workers=1))
+        server.start()
+        server.stop()
+        server.stop()
+
+
+class TestServingCliMatrix:
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--hub", "process", "--front-door", "asyncio"],
+            ["--hub", "thread", "--front-door", "threaded"],
+        ],
+    )
+    def test_demo_runs_on_hub_and_front_door(self, extra, capsys):
+        from repro.serving.__main__ import main
+
+        exit_code = main(
+            ["--sensors", "2", "--duration", "0.4", "--batch-us", "33000"] + extra
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "telemetry:" in captured.out
+
+    def test_cli_rejects_bad_ring_size(self, capsys):
+        from repro.serving.__main__ import main
+
+        assert main(["--ring-kib", "0"]) == 2

@@ -1,0 +1,290 @@
+"""Tests for the process-per-shard :class:`ProcessTrackingHub`.
+
+The scheduling surface is deliberately identical to the thread hub's, so
+several tests run parametrized over both flavours — in particular the
+``"drop"`` backpressure contract under sustained overload and the
+per-shard gauge exposition, which the CI smoke job also gates.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import EbbiotConfig, EbbiotPipeline
+from repro.events.stream import EventStream
+from repro.events.types import make_packet
+from repro.obs import parse_prometheus_text, sample_value
+from repro.serving.hub import HubConfig, TrackingHub
+from repro.serving.process_hub import ProcessTrackingHub
+
+HUBS = {"thread": TrackingHub, "process": ProcessTrackingHub}
+
+
+def _moving_block_stream(seed: int, num_frames: int = 10) -> EventStream:
+    rng = np.random.default_rng(seed)
+    xs, ys, ts = [], [], []
+    for frame_index in range(num_frames):
+        x0 = 20 + 3 * frame_index
+        y0 = 40 + (seed % 60)
+        t = frame_index * 66_000 + 10_000
+        for dy in range(6):
+            for dx in range(6):
+                xs.append(x0 + dx)
+                ys.append(y0 + dy)
+                ts.append(t + int(rng.integers(0, 40_000)))
+    packet = make_packet(xs, ys, ts, [1] * len(xs))
+    return EventStream(packet, 240, 180)
+
+
+def _batches(stream: EventStream, batch_us: int = 22_000):
+    events = stream.events
+    for lo in range(0, int(events["t"][-1]) + 1, batch_us):
+        i0, i1 = np.searchsorted(events["t"], [lo, lo + batch_us])
+        if i1 > i0:
+            yield events[i0:i1]
+
+
+def _expected(stream: EventStream):
+    return EbbiotPipeline(EbbiotConfig()).process_stream(stream)
+
+
+class TestProcessHubParity:
+    def test_multi_sensor_results_match_batch_pipeline(self):
+        streams = {f"sensor-{i}": _moving_block_stream(seed=i) for i in range(6)}
+        with ProcessTrackingHub(HubConfig(num_workers=3)) as hub:
+            for sensor_id in streams:
+                hub.register(sensor_id)
+            for sensor_id, stream in streams.items():
+                for batch in _batches(stream):
+                    assert hub.submit(sensor_id, batch)
+            results = {sid: hub.close_sensor(sid, timeout=60) for sid in streams}
+
+        for sensor_id, stream in streams.items():
+            expected = _expected(stream)
+            result = results[sensor_id]
+            assert result.name == sensor_id
+            assert result.num_events == len(stream)
+            assert result.num_frames == expected.num_frames
+            assert result.num_track_observations == (
+                expected.total_track_observations()
+            )
+
+    def test_pipe_transport_matches_batch_pipeline(self):
+        stream = _moving_block_stream(seed=11)
+        config = HubConfig(num_workers=2, transport="pipe")
+        with ProcessTrackingHub(config) as hub:
+            hub.register("cam")
+            for batch in _batches(stream):
+                assert hub.submit("cam", batch)
+            result = hub.close_sensor("cam", timeout=60)
+        expected = _expected(stream)
+        assert result.num_frames == expected.num_frames
+        assert result.num_track_observations == expected.total_track_observations()
+
+    def test_frames_callback_delivers_all_frames_in_order(self):
+        stream = _moving_block_stream(seed=1)
+        received = []
+        lock = threading.Lock()
+
+        def on_frames(sensor_id, frames):
+            with lock:
+                received.extend(frames)
+
+        with ProcessTrackingHub(HubConfig(num_workers=2)) as hub:
+            hub.register("cam", on_frames=on_frames)
+            for batch in _batches(stream):
+                hub.submit("cam", batch)
+            result = hub.close_sensor("cam", timeout=60)
+
+        assert [f.frame_index for f in received] == list(range(result.num_frames))
+
+    def test_batch_result_aggregates_closed_sensors(self):
+        with ProcessTrackingHub(HubConfig(num_workers=2)) as hub:
+            for i in range(3):
+                hub.register(f"s{i}")
+            for i in range(3):
+                for batch in _batches(_moving_block_stream(seed=i)):
+                    hub.submit(f"s{i}", batch)
+            for i in range(3):
+                hub.close_sensor(f"s{i}", timeout=60)
+            batch_result = hub.batch_result()
+        assert len(batch_result) == 3
+        assert [r.name for r in batch_result.recordings] == ["s0", "s1", "s2"]
+        assert batch_result.total_events > 0
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self):
+        with ProcessTrackingHub(HubConfig(num_workers=1)) as hub:
+            hub.register("cam")
+            with pytest.raises(ValueError):
+                hub.register("cam")
+
+    def test_submit_to_unknown_sensor_raises(self):
+        with ProcessTrackingHub(HubConfig(num_workers=1)) as hub:
+            with pytest.raises(KeyError):
+                hub.submit("ghost", _moving_block_stream(0).events[:5])
+
+    def test_submit_requires_started_hub(self):
+        hub = ProcessTrackingHub(HubConfig(num_workers=1))
+        with pytest.raises(RuntimeError):
+            hub.submit("cam", _moving_block_stream(0).events[:5])
+
+    def test_remove_sensor_allows_id_reuse(self):
+        # Exercises the submit route cache across close -> remove ->
+        # re-register: the stale route must be evicted, not reused.
+        stream = _moving_block_stream(seed=7)
+        with ProcessTrackingHub(HubConfig(num_workers=2)) as hub:
+            hub.register("cam")
+            for batch in _batches(stream):
+                hub.submit("cam", batch)
+            first = hub.close_sensor("cam", timeout=60)
+            hub.remove_sensor("cam")
+            with pytest.raises(KeyError):
+                hub.submit("cam", stream.events[:5])
+            hub.register("cam")
+            for batch in _batches(stream):
+                hub.submit("cam", batch)
+            result = hub.close_sensor("cam", timeout=60)
+        assert result.num_frames == first.num_frames
+
+
+class TestDropBackpressureUnderOverload:
+    """Satellite contract: sustained overload with ``"drop"`` on BOTH hubs.
+
+    Shed batches must be counted exactly (generator refusals == telemetry
+    drops, accepted == batches received) and ``close_sensor`` must drain
+    without deadlock even while the queue is saturated.
+    """
+
+    @staticmethod
+    def _config(kind: str) -> HubConfig:
+        if kind == "thread":
+            return HubConfig(num_workers=1, queue_capacity=2, backpressure="drop")
+        # The smallest legal ring holds only a few ~2.4 KiB batches, so a
+        # full-speed burst overruns it just like the one-slot queue.
+        return HubConfig(
+            num_workers=1, backpressure="drop", ring_capacity_bytes=4096
+        )
+
+    @pytest.mark.parametrize("kind", sorted(HUBS))
+    def test_drop_counts_match_telemetry_and_close_does_not_deadlock(self, kind):
+        stream = _moving_block_stream(seed=3, num_frames=30)
+        batches = list(_batches(stream, batch_us=8_000))
+        assert len(batches) >= 100
+        with HUBS[kind](self._config(kind)) as hub:
+            hub.register("cam")
+            accepted = refused = 0
+            for _ in range(3):  # sustained: repeated full-speed bursts
+                for batch in batches:
+                    if hub.submit("cam", batch):
+                        accepted += 1
+                    else:
+                        refused += 1
+            result = hub.close_sensor("cam", timeout=60)
+            telemetry = hub.telemetry_dict()["sensors"]["cam"]
+        assert refused > 0, "overload never tripped the drop policy"
+        assert accepted + refused == 3 * len(batches)
+        assert telemetry["dropped_batches"] == refused
+        assert telemetry["batches_received"] == accepted
+        assert result.num_events == telemetry["events_received"]
+
+    @pytest.mark.parametrize("kind", sorted(HUBS))
+    def test_try_submit_refusals_are_not_counted_as_drops(self, kind):
+        stream = _moving_block_stream(seed=5, num_frames=30)
+        batches = list(_batches(stream, batch_us=8_000))
+        with HUBS[kind](self._config(kind)) as hub:
+            hub.register("cam")
+            refused = sum(
+                0 if hub.try_submit("cam", batch) else 1 for batch in batches
+            )
+            hub.close_sensor("cam", timeout=60)
+            telemetry = hub.telemetry_dict()["sensors"]["cam"]
+        assert refused > 0
+        assert telemetry["dropped_batches"] == 0
+
+
+class TestMigration:
+    @pytest.mark.parametrize("kind", sorted(HUBS))
+    def test_migration_mid_stream_preserves_output_exactly(self, kind):
+        stream = _moving_block_stream(seed=9)
+        batches = list(_batches(stream))
+        expected = _expected(stream)
+        with HUBS[kind](HubConfig(num_workers=2)) as hub:
+            hub.register("cam", shard=0)
+            half = len(batches) // 2
+            for batch in batches[:half]:
+                assert hub.submit("cam", batch)
+            assert hub.migrate_sensor("cam", 1) is True
+            assert hub.sensor_shards()["cam"] == 1
+            for batch in batches[half:]:
+                assert hub.submit("cam", batch)
+            result = hub.close_sensor("cam", timeout=60)
+            assert hub.migrations_performed == 1
+        assert result.num_events == len(stream)
+        assert result.num_frames == expected.num_frames
+        assert result.num_track_observations == expected.total_track_observations()
+
+    def test_migrate_to_same_shard_is_a_no_op(self):
+        with ProcessTrackingHub(HubConfig(num_workers=2)) as hub:
+            hub.register("cam", shard=1)
+            assert hub.migrate_sensor("cam", 1) is False
+            assert hub.migrations_performed == 0
+
+    def test_migrate_unknown_sensor_raises(self):
+        with ProcessTrackingHub(HubConfig(num_workers=2)) as hub:
+            with pytest.raises(KeyError):
+                hub.migrate_sensor("ghost", 1)
+            with pytest.raises(ValueError):
+                hub.register("cam", shard=7)
+
+
+class TestShardGauges:
+    """Satellite contract: per-shard load gauges in the exposition."""
+
+    @pytest.mark.parametrize("kind", sorted(HUBS))
+    def test_per_shard_gauges_exposed_via_prometheus(self, kind):
+        with HUBS[kind](HubConfig(num_workers=2)) as hub:
+            hub.register("cam-a", shard=0)
+            hub.register("cam-b", shard=0)
+            hub.register("cam-c", shard=1)
+            for batch in _batches(_moving_block_stream(seed=2)):
+                hub.submit("cam-a", batch)
+            hub.close_sensor("cam-a", timeout=60)
+            samples = parse_prometheus_text(hub.metrics_text())
+
+        assert sample_value(samples, "repro_shard_sensors", shard="0") == 2.0
+        assert sample_value(samples, "repro_shard_sensors", shard="1") == 1.0
+        for shard in ("0", "1"):
+            depth = sample_value(samples, "repro_shard_queue_depth", shard=shard)
+            busy = sample_value(samples, "repro_shard_busy_fraction", shard=shard)
+            assert depth is not None and depth >= 0.0
+            assert busy is not None and 0.0 <= busy <= 1.0
+        # The per-sensor queue-depth gauge is stride-refreshed but the
+        # first accepted batch always publishes one.
+        assert (
+            sample_value(samples, "repro_sensor_queue_depth", sensor="cam-a")
+            is not None
+        )
+
+    def test_process_hub_merges_worker_counters(self):
+        stream = _moving_block_stream(seed=4)
+        with ProcessTrackingHub(HubConfig(num_workers=2)) as hub:
+            hub.register("cam")
+            for batch in _batches(stream):
+                hub.submit("cam", batch)
+            hub.close_sensor("cam", timeout=60)
+            samples = parse_prometheus_text(hub.metrics_text())
+        # Batches are counted parent-side, frames worker-side; both must
+        # appear in one merged exposition.
+        received = sample_value(
+            samples, "repro_sensor_events_received_total", sensor="cam"
+        )
+        frames = sample_value(
+            samples, "repro_sensor_frames_emitted_total", sensor="cam"
+        )
+        assert received == float(len(stream))
+        assert frames and frames > 0.0
