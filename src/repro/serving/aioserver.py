@@ -16,7 +16,9 @@ The event-loop thread must never block, which dictates the three seams:
   backpressure to this sensor's TCP stream while other connections keep
   flowing — replacing the blocked thread of the threaded server).  Under
   ``"drop"`` the refusal is final and counted, exactly like the threaded
-  server.
+  server.  Rebalance evaluation never runs on the submit path either —
+  both hubs hand it to a dedicated rebalancer thread, so a submit can at
+  worst briefly contend a shard lock, never wait out a migration.
 * **slow calls** — ``close_sensor`` flushes, ``metrics`` scrapes worker
   processes — run in the default executor via :func:`asyncio.to_thread`.
 * **frame pushes** arrive on hub worker/pump threads; the callback hops
@@ -295,6 +297,17 @@ class AsyncTrackingServer:
                 except ProtocolError as error:
                     await connection.send(
                         error_message(str(error), connection.sensor_id)
+                    )
+                except KeyError as error:
+                    # The hub raises KeyError for a sensor it no longer
+                    # knows (e.g. closed and removed by a racing path).
+                    # Reply with an error instead of unwinding the handler
+                    # and dropping the connection without explanation.
+                    await connection.send(
+                        error_message(
+                            f"sensor is not registered: {error}",
+                            connection.sensor_id,
+                        )
                     )
         finally:
             try:

@@ -82,13 +82,14 @@ class HubConfig:
         growth on long-lived hubs without affecting the stage metrics.
     rebalance:
         Optional :class:`~repro.serving.rebalance.RebalancePolicy`.  When
-        set, the hub samples its shard loads every
-        ``rebalance_check_every`` submitted batches and migrates sessions
+        set, a dedicated rebalancer thread — woken every
+        ``rebalance_check_every`` submitted batches, never run on the
+        submit path itself — samples the shard loads and migrates sessions
         off overloaded shards (drain → snapshot → restore, invisible in the
         output).  ``None`` (default) keeps placement purely hash-based.
     rebalance_check_every:
-        Submit-count stride between rebalance evaluations; keeps the check
-        off the per-batch hot path.
+        Submit-count stride between rebalancer wake-ups; keeps even the
+        wake signal off the per-batch hot path.
     transport:
         Event transport of the *process* hub: ``"shm"`` (shared-memory
         ring, falls back to pipes when unavailable), ``"pipe"``, or
@@ -207,6 +208,13 @@ class TrackingHub:
             queue.Queue(maxsize=self.config.queue_capacity)
             for _ in range(self.config.num_workers)
         ]
+        # One lock per shard queue, held across the map-read + enqueue of
+        # every submit/close, and across the map-flip + marker enqueues of
+        # a migration — the interlock that keeps a concurrent submit from
+        # landing behind a migrate-out marker (see migrate_sensor).
+        self._queue_locks: List[threading.Lock] = [
+            threading.Lock() for _ in range(self.config.num_workers)
+        ]
         self._workers: List[threading.Thread] = []
         self._started = False
         self._closed_results: List[RecordingResult] = []
@@ -215,6 +223,9 @@ class TrackingHub:
         self._migrations = 0
         self._submits_until_rebalance = self.config.rebalance_check_every
         self._rebalance_lock = threading.Lock()
+        self._rebalance_wake = threading.Event()
+        self._rebalance_stopping = False
+        self._rebalance_thread: Optional[threading.Thread] = None
 
     # -- lifecycle -----------------------------------------------------------------------
 
@@ -233,12 +244,28 @@ class TrackingHub:
             )
             worker.start()
             self._workers.append(worker)
+        if self.config.rebalance is not None:
+            self._rebalance_stopping = False
+            self._rebalance_wake.clear()
+            self._rebalance_thread = threading.Thread(
+                target=self._rebalance_loop,
+                name="tracking-hub-rebalancer",
+                daemon=True,
+            )
+            self._rebalance_thread.start()
         return self
 
     def stop(self) -> None:
         """Stop all workers after their queues drain (idempotent)."""
         if not self._started:
             return
+        # Retire the rebalancer first so no migration markers are enqueued
+        # behind a stop item (the workers would never reach them).
+        if self._rebalance_thread is not None:
+            self._rebalance_stopping = True
+            self._rebalance_wake.set()
+            self._rebalance_thread.join(timeout=90.0)
+            self._rebalance_thread = None
         for q in self._queues:
             q.put(_Stop())
         for worker in self._workers:
@@ -362,6 +389,30 @@ class TrackingHub:
         """
         return self._submit(sensor_id, events, blocking=False, count_refusals=False)
 
+    def _acquire_queue(self, sensor_id: str):
+        """Lock the sensor's current shard queue, racing map flips safely.
+
+        A migration flips the shard map while holding both shard queue
+        locks, so re-checking the map after acquiring the queue lock
+        guarantees no item is enqueued on the source queue behind its
+        migrate-out marker (or on the target queue ahead of its
+        migrate-in barrier).
+        """
+        while True:
+            with self._sessions_lock:
+                shard = self._shard_map.get(sensor_id)
+            if shard is None:
+                raise KeyError(f"sensor {sensor_id!r} is not registered")
+            lock = self._queue_locks[shard]
+            lock.acquire()
+            with self._sessions_lock:
+                current = self._shard_map.get(sensor_id)
+            if current == shard:
+                return shard, lock
+            lock.release()
+            if current is None:
+                raise KeyError(f"sensor {sensor_id!r} is not registered")
+
     def _submit(
         self,
         sensor_id: str,
@@ -371,29 +422,32 @@ class TrackingHub:
     ) -> bool:
         if not self._started:
             raise RuntimeError("hub is not started")
-        with self._sessions_lock:
-            shard = self._shard_map.get(sensor_id)
-        if shard is None:
-            raise KeyError(f"sensor {sensor_id!r} is not registered")
-        shard_queue = self._queues[shard]
         item = _Ingest(sensor_id, events, time.perf_counter())
         record = self.telemetry.sensor(sensor_id)
-        if blocking:
-            shard_queue.put(item)
-        else:
-            try:
-                shard_queue.put_nowait(item)
-            except queue.Full:
-                if count_refusals:
-                    record.record_drop(len(events))
-                return False
+        shard, lock = self._acquire_queue(sensor_id)
+        shard_queue = self._queues[shard]
+        try:
+            if blocking:
+                shard_queue.put(item)
+            else:
+                try:
+                    shard_queue.put_nowait(item)
+                except queue.Full:
+                    if count_refusals:
+                        record.record_drop(len(events))
+                    return False
+        finally:
+            lock.release()
         record.record_batch(len(events))
         record.set_queue_depth(shard_queue.qsize())
         if self.config.rebalance is not None:
             self._submits_until_rebalance -= 1
             if self._submits_until_rebalance <= 0:
                 self._submits_until_rebalance = self.config.rebalance_check_every
-                self.maybe_rebalance()
+                # Never evaluate on the submit path: a migration blocks on
+                # the worker hand-off, and submit may run on threads that
+                # must not stall (the asyncio front door's event loop).
+                self._rebalance_wake.set()
         return True
 
     def close_sensor(self, sensor_id: str, timeout: Optional[float] = None) -> RecordingResult:
@@ -405,11 +459,12 @@ class TrackingHub:
         """
         if not self._started:
             raise RuntimeError("hub is not started")
-        with self._sessions_lock:
-            if sensor_id not in self._sessions:
-                raise KeyError(f"sensor {sensor_id!r} is not registered")
         item = _Close(sensor_id, threading.Event())
-        self._queues[self.shard_of(sensor_id)].put(item)
+        shard, lock = self._acquire_queue(sensor_id)
+        try:
+            self._queues[shard].put(item)
+        finally:
+            lock.release()
         if not item.done.wait(timeout):
             raise TimeoutError(f"timed out closing sensor {sensor_id!r}")
         if item.error is not None:
@@ -424,13 +479,18 @@ class TrackingHub:
     ) -> bool:
         """Move a live sensor to another shard (drain → snapshot → restore).
 
-        The shard map flips first, so batches submitted from now on land on
-        the target queue *behind* a barrier item: the target worker waits
-        there until the source worker has drained every batch enqueued
-        before the flip, exported the session's
-        :class:`~repro.serving.session.MigrationEnvelope`, and handed it
-        over.  Per-sensor ordering is therefore preserved end to end and
-        the output stream is byte-identical to an unmigrated run.
+        Both shard queue locks are held while the map flips and the two
+        markers are enqueued, and every submit/close re-checks the map
+        under its shard's queue lock, so each of the sensor's items either
+        precedes the migrate-out marker on the source queue or follows the
+        migrate-in barrier on the target queue — never the reverse.  The
+        target worker waits at the barrier until the source worker has
+        drained every batch enqueued before the flip, exported the
+        session's :class:`~repro.serving.session.MigrationEnvelope`, and
+        handed it over.  Per-sensor ordering is therefore preserved end to
+        end and the output stream is byte-identical to an unmigrated run,
+        even with submits racing the migration (which is normal operation
+        under a rebalance policy).
 
         Returns ``True`` if a migration was performed, ``False`` if the
         sensor was already on ``target_shard``.
@@ -442,16 +502,23 @@ class TrackingHub:
                 f"target_shard must be in [0, {self.config.num_workers}), "
                 f"got {target_shard}"
             )
-        with self._sessions_lock:
-            source = self._shard_map.get(sensor_id)
+        while True:
+            with self._sessions_lock:
+                source = self._shard_map.get(sensor_id)
             if source is None:
                 raise KeyError(f"sensor {sensor_id!r} is not registered")
             if source == target_shard:
                 return False
-            self._shard_map[sensor_id] = target_shard
-        handoff = _Handoff(sensor_id=sensor_id, target=target_shard)
-        self._queues[source].put(_MigrateOut(handoff))
-        self._queues[target_shard].put(_MigrateIn(handoff))
+            first, second = sorted((source, target_shard))
+            with self._queue_locks[first], self._queue_locks[second]:
+                with self._sessions_lock:
+                    if self._shard_map.get(sensor_id) != source:
+                        continue  # lost a race with another migration; retry
+                    self._shard_map[sensor_id] = target_shard
+                handoff = _Handoff(sensor_id=sensor_id, target=target_shard)
+                self._queues[source].put(_MigrateOut(handoff))
+                self._queues[target_shard].put(_MigrateIn(handoff))
+            break
         if not handoff.completed.wait(timeout):
             raise TimeoutError(f"timed out migrating sensor {sensor_id!r}")
         if handoff.error is not None:
@@ -492,6 +559,26 @@ class TrackingHub:
     def migrations_performed(self) -> int:
         """Completed sensor migrations (manual and rebalancer-initiated)."""
         return self._migrations
+
+    def _rebalance_loop(self) -> None:
+        """Dedicated rebalancer thread: evaluates off the submit path.
+
+        Submits only *signal* this thread (an Event set, never a blocking
+        call), so a migration's drain/hand-off wait is paid here rather
+        than by whoever happened to submit the Nth batch — in particular
+        the asyncio front door's event-loop thread.
+        """
+        while True:
+            self._rebalance_wake.wait()
+            self._rebalance_wake.clear()
+            if self._rebalance_stopping:
+                return
+            try:
+                self.maybe_rebalance()
+            except Exception:  # pragma: no cover - defensive
+                import logging
+
+                logging.getLogger(__name__).exception("rebalance pass failed")
 
     def maybe_rebalance(self) -> List[Move]:
         """Apply the configured rebalance policy once; returns moves made.

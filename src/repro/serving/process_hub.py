@@ -141,6 +141,9 @@ class ProcessTrackingHub:
         self._migrations = 0
         self._submits_until_rebalance = self.config.rebalance_check_every
         self._rebalance_lock = threading.Lock()
+        self._rebalance_wake = threading.Event()
+        self._rebalance_stopping = False
+        self._rebalance_thread: Optional[threading.Thread] = None
 
     # -- lifecycle -----------------------------------------------------------------------
 
@@ -179,12 +182,28 @@ class ProcessTrackingHub:
             self._res_rx.append(res_rx)
             self._procs.append(proc)
             self._pumps.append(pump)
+        if self.config.rebalance is not None:
+            self._rebalance_stopping = False
+            self._rebalance_wake.clear()
+            self._rebalance_thread = threading.Thread(
+                target=self._rebalance_loop,
+                name="tracking-hub-rebalancer",
+                daemon=True,
+            )
+            self._rebalance_thread.start()
         return self
 
     def stop(self) -> None:
         """Stop the workers after their rings drain (idempotent)."""
         if not self._started:
             return
+        # Retire the rebalancer first so no migration markers are enqueued
+        # behind a stop record (the workers would never reach them).
+        if self._rebalance_thread is not None:
+            self._rebalance_stopping = True
+            self._rebalance_wake.set()
+            self._rebalance_thread.join(timeout=90.0)
+            self._rebalance_thread = None
         for shard in range(self.config.num_workers):
             try:
                 with self._ring_locks[shard]:
@@ -250,8 +269,15 @@ class ProcessTrackingHub:
                     except OSError:
                         error = f"target shard {target} pipe closed"
                 if error is not None:
-                    # Resolve the migrate waiter directly with the failure;
-                    # the target worker will time out of its barrier.
+                    # Release the target worker's MIGRATE_IN barrier right
+                    # away (it would otherwise sit out its full timeout,
+                    # stalling that shard), then resolve the migrate waiter
+                    # directly with the failure.
+                    if target is not None:
+                        try:
+                            self._cmd_tx[target].send(("abort", mig_id))
+                        except OSError:  # pragma: no cover - defensive
+                            pass
                     self._resolve(mig_id, ("migrate_done", mig_id, error))
             elif kind == "stopped":
                 return
@@ -449,7 +475,11 @@ class ProcessTrackingHub:
             self._submits_until_rebalance -= 1
             if self._submits_until_rebalance <= 0:
                 self._submits_until_rebalance = self.config.rebalance_check_every
-                self.maybe_rebalance()
+                # Signal the rebalancer thread rather than evaluating here:
+                # a migration blocks on the worker hand-off, and submit may
+                # run on threads that must not stall (the asyncio front
+                # door's event loop).
+                self._rebalance_wake.set()
         return True
 
     def close_sensor(
@@ -584,6 +614,24 @@ class ProcessTrackingHub:
     @property
     def migrations_performed(self) -> int:
         return self._migrations
+
+    def _rebalance_loop(self) -> None:
+        """Dedicated rebalancer thread: evaluates off the submit path.
+
+        Same contract as the thread hub's: submits only set an Event, so
+        the migration hand-off wait is paid here, never by a submitter.
+        """
+        while True:
+            self._rebalance_wake.wait()
+            self._rebalance_wake.clear()
+            if self._rebalance_stopping:
+                return
+            try:
+                self.maybe_rebalance()
+            except Exception:  # pragma: no cover - defensive
+                import logging
+
+                logging.getLogger(__name__).exception("rebalance pass failed")
 
     def maybe_rebalance(self) -> List[Move]:
         """Apply the configured rebalance policy once; returns moves made."""

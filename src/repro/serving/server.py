@@ -83,6 +83,15 @@ class _SensorConnectionHandler(socketserver.StreamRequestHandler):
                         return
                 except ProtocolError as error:
                     self._send(error_message(str(error), self.sensor_id))
+                except KeyError as error:
+                    # The hub raises KeyError for a sensor it no longer
+                    # knows (e.g. closed and removed by a racing path);
+                    # reply instead of dropping the connection.
+                    self._send(
+                        error_message(
+                            f"sensor is not registered: {error}", self.sensor_id
+                        )
+                    )
         except (ConnectionResetError, BrokenPipeError, OSError):
             pass
         finally:

@@ -208,11 +208,7 @@ class _ShardWorker:
         self.send(("closed", req_id, session.summary(), already_finished, None))
 
     def handle_migrate_out(self, sensor_idx: int, mig_id: int) -> None:
-        session = self.sessions.pop(sensor_idx, None)
-        self.sensor_ids.pop(sensor_idx, None)
-        self.want_frames.pop(sensor_idx, None)
-        self.records.pop(sensor_idx, None)
-        self.last_late.pop(sensor_idx, None)
+        session = self.sessions.get(sensor_idx)
         if session is None:
             self.send(("migrated", mig_id, None,
                        f"sensor index {sensor_idx} unknown to shard {self.shard_id}"))
@@ -220,8 +216,16 @@ class _ShardWorker:
         try:
             envelope = session.export_migration()
         except Exception as error:
+            # Export failed (e.g. the session finished while the migration
+            # was in flight): keep the session in place so the shard stays
+            # consistent, and let the hub surface the error.
             self.send(("migrated", mig_id, None, repr(error)))
             return
+        self.sessions.pop(sensor_idx, None)
+        self.sensor_ids.pop(sensor_idx, None)
+        self.want_frames.pop(sensor_idx, None)
+        self.records.pop(sensor_idx, None)
+        self.last_late.pop(sensor_idx, None)
         self.send(("migrated", mig_id, envelope, None))
 
     def handle_migrate_in(
@@ -276,6 +280,10 @@ class _ShardWorker:
                     self.send(("trace", command[1], events))
                 elif kind == "envelope":
                     self.envelopes[command[1]] = command[2]
+                elif kind == "abort":
+                    # Failed migrate-out: release the MIGRATE_IN barrier
+                    # without restoring anything.
+                    self.envelopes[command[1]] = None
                 elif kind == "stop":
                     self.running = False
         except (EOFError, OSError):

@@ -24,9 +24,18 @@ Cursors sit on their own cache lines so producer and consumer stores do not
 false-share.  Each record is ``<u32 len><u8 kind><u32 sensor_idx><f64
 enqueued_at>`` followed by ``len`` payload bytes; a length of ``0xFFFFFFFF``
 is a wrap marker (the rest of the ring up to the end is dead space and the
-record restarts at offset 0).  Single 8-byte aligned stores are atomic on
-every platform CPython supports, which is all a SPSC ring needs — each
-cursor has exactly one writer.
+record restarts at offset 0).  Cursor *publication* is synchronised by one
+shared :class:`multiprocessing.Lock`: plain byte stores into shared memory
+(``struct.pack_into`` compiles to a memcpy) guarantee neither atomicity nor
+cross-CPU ordering, so on a weakly-ordered machine (aarch64) the consumer
+could otherwise observe a tail advance before the header/payload bytes it
+publishes are visible.  The producer writes a record's bytes first and
+stores the tail under the lock; the consumer loads the tail under the same
+lock before touching the bytes — the release/acquire pairing of the lock
+is what carries the payload across.  The lock is uncontended in steady
+state (SPSC; it is held for two 8-byte stores) and replaces nothing on the
+fast path: the producer still runs from its cached cursors and only takes
+the lock once per record plus once per full-looking refresh.
 
 ``enqueued_at`` carries the producer's ``time.perf_counter()`` timestamp:
 on Linux that is ``CLOCK_MONOTONIC``, which is comparable across processes,
@@ -35,12 +44,14 @@ delay the same way the thread hub does.
 
 :class:`PipeRing` is the plain-``multiprocessing.Pipe`` fallback for
 environments without usable shared memory (``/dev/shm`` mounted ``noexec``
-or absent); it exposes the same API, including the bulk drain, at the cost
-of one kernel round-trip per record.
+or absent); it exposes the same API, including the bulk drain and the
+bounded non-blocking :meth:`~PipeRing.try_put`, at the cost of one kernel
+round-trip per record.
 """
 
 from __future__ import annotations
 
+import select
 import struct
 import time
 from typing import List, NamedTuple, Optional
@@ -104,6 +115,13 @@ class ShmRing:
                 f"capacity_bytes must be >= 4096, got {capacity_bytes}"
             )
         self._capacity = int(capacity_bytes)
+        # The cursor-publication lock (see the module docstring).  A fork
+        # context so the worker inherits the same semaphore; platforms
+        # without fork cannot run the process hub anyway, and make_ring
+        # turns the ValueError into a PipeRing fallback.
+        import multiprocessing
+
+        self._lock = multiprocessing.get_context("fork").Lock()
         self._shm = shared_memory.SharedMemory(
             name=name, create=True, size=_DATA_OFF + self._capacity
         )
@@ -137,21 +155,25 @@ class ShmRing:
     def depth(self) -> int:
         """Records currently enqueued but not yet consumed.
 
-        Readable from either side without synchronisation (the two counters
-        are each single-writer); this is what the hub exports as the
-        ``repro_shard_queue_depth`` gauge and feeds to the rebalancer.
+        Readable from either side (the counters are read under the cursor
+        lock, so an 8-byte value can never tear); this is what the hub
+        exports as the ``repro_shard_queue_depth`` gauge and feeds to the
+        rebalancer.
         """
-        return max(0, self._read_u64(_IN_OFF) - self._read_u64(_OUT_OFF))
+        with self._lock:
+            return max(0, self._read_u64(_IN_OFF) - self._read_u64(_OUT_OFF))
 
     def busy_seconds(self) -> float:
         """Worker-reported cumulative busy time (see :meth:`add_busy`)."""
-        return self._read_u64(_BUSY_OFF) * 1e-9
+        with self._lock:
+            return self._read_u64(_BUSY_OFF) * 1e-9
 
     def add_busy(self, seconds: float) -> None:
         """Worker-side: accumulate busy time into the shared stats slot."""
-        self._write_u64(
-            _BUSY_OFF, self._read_u64(_BUSY_OFF) + int(seconds * 1e9)
-        )
+        with self._lock:
+            self._write_u64(
+                _BUSY_OFF, self._read_u64(_BUSY_OFF) + int(seconds * 1e9)
+            )
 
     # -- producer ------------------------------------------------------------------------
 
@@ -181,7 +203,10 @@ class ShmRing:
         if self._capacity - (tail - self._head_cache) < required:
             # The conservative head snapshot says full — refresh it from
             # shared memory (the consumer may have drained meanwhile).
-            self._head_cache = self._read_u64(_HEAD_OFF)
+            # Under the lock: pairs with the consumer's locked head store,
+            # so a freed region is fully copied out before we reuse it.
+            with self._lock:
+                self._head_cache = self._read_u64(_HEAD_OFF)
             if self._capacity - (tail - self._head_cache) < required:
                 return False
         if enqueued_at is None:
@@ -196,8 +221,11 @@ class ShmRing:
             self._buf[start : start + len(payload)] = payload
         self._tail_cache = tail + need
         self._in_cache += 1
-        self._write_u64(_TAIL_OFF, self._tail_cache)
-        self._write_u64(_IN_OFF, self._in_cache)
+        # Publication barrier: the record's bytes above must be visible
+        # before the consumer can observe this tail advance.
+        with self._lock:
+            self._write_u64(_TAIL_OFF, self._tail_cache)
+            self._write_u64(_IN_OFF, self._in_cache)
         return True
 
     def put(
@@ -236,7 +264,10 @@ class ShmRing:
         per-record numpy wrappers cost more than the raw byte copies.)
         """
         head = self._read_u64(_HEAD_OFF)
-        tail = self._read_u64(_TAIL_OFF)
+        # Acquiring the lock pairs with the producer's locked tail store:
+        # every record byte published before this tail value is visible.
+        with self._lock:
+            tail = self._read_u64(_TAIL_OFF)
         records: List[Record] = []
         while head < tail:
             if max_records and len(records) >= max_records:
@@ -253,13 +284,15 @@ class ShmRing:
             records.append(Record(kind, sensor_idx, enqueued_at, payload))
             head += _HDR.size + length
         if records:
-            self._write_u64(_HEAD_OFF, head)
-            self._write_u64(
-                _OUT_OFF, self._read_u64(_OUT_OFF) + len(records)
-            )
+            with self._lock:
+                self._write_u64(_HEAD_OFF, head)
+                self._write_u64(
+                    _OUT_OFF, self._read_u64(_OUT_OFF) + len(records)
+                )
         elif head != self._read_u64(_HEAD_OFF):
             # Only wrap markers were consumed.
-            self._write_u64(_HEAD_OFF, head)
+            with self._lock:
+                self._write_u64(_HEAD_OFF, head)
         return records
 
     # -- lifecycle -----------------------------------------------------------------------
@@ -282,23 +315,37 @@ class PipeRing:
     """Same record API as :class:`ShmRing` over a ``multiprocessing.Pipe``.
 
     The fallback transport when shared memory is unavailable.  ``depth``
-    and busy time are tracked through a pair of shared counters instead of
-    header slots; a drain pulls everything the pipe currently holds, so the
+    and busy time are tracked through shared counters instead of header
+    slots; a drain pulls everything the pipe currently holds, so the
     worker's coalescing fast path behaves identically.
+
+    :meth:`try_put` keeps the ShmRing's non-blocking contract — and
+    therefore the ``"drop"`` policy's shed semantics — by refusing when
+    the bookkept in-flight bytes exceed ``capacity_bytes`` *or* when the
+    OS pipe buffer has no room (``Connection.send`` would otherwise park
+    the caller behind a stalled worker).  One residual gap: a record
+    larger than the free pipe-buffer space blocks in ``send`` until the
+    consumer drains — unavoidable without reimplementing framing on a
+    non-blocking fd, and only reachable when the worker has already
+    wedged mid-record.
     """
 
-    def __init__(self, context=None) -> None:
+    def __init__(self, context=None, capacity_bytes: int = 1 << 20) -> None:
         import multiprocessing
 
         ctx = context or multiprocessing.get_context("fork")
+        self._capacity = int(capacity_bytes)
         self._rx, self._tx = ctx.Pipe(duplex=False)
+        # Each counter is single-writer (producer: *_in, consumer: *_out).
         self._records_in = ctx.Value("Q", 0, lock=False)
         self._records_out = ctx.Value("Q", 0, lock=False)
+        self._bytes_in = ctx.Value("Q", 0, lock=False)
+        self._bytes_out = ctx.Value("Q", 0, lock=False)
         self._busy_ns = ctx.Value("Q", 0, lock=False)
 
     @property
     def capacity_bytes(self) -> int:
-        return 1 << 62  # effectively unbounded: the OS pipe buffer blocks for us
+        return self._capacity
 
     def depth(self) -> int:
         return max(0, self._records_in.value - self._records_out.value)
@@ -316,10 +363,21 @@ class PipeRing:
         payload: bytes,
         enqueued_at: Optional[float] = None,
     ) -> bool:
+        need = _HDR.size + len(payload)
+        in_flight = max(0, self._bytes_in.value - self._bytes_out.value)
+        # Refuse only when something is already queued: an oversized record
+        # still passes through an idle ring (the pipe imposes no framing
+        # limit, so unlike ShmRing it need not fit the buffer), keeping the
+        # queue bounded by capacity + one record without ever wedging.
+        if in_flight and in_flight + need > self._capacity:
+            return False
+        if not select.select([], [self._tx], [], 0)[1]:
+            return False  # OS pipe buffer full — send would block
         if enqueued_at is None:
             enqueued_at = time.perf_counter()
         self._tx.send((kind, sensor_idx, enqueued_at, payload))
         self._records_in.value += 1
+        self._bytes_in.value += need
         return True
 
     def put(
@@ -329,17 +387,29 @@ class PipeRing:
         payload: bytes,
         timeout: Optional[float] = None,
     ) -> None:
-        self.try_put(kind, sensor_idx, payload)
+        """Blocking :meth:`try_put` with backoff; :class:`RingFull` on timeout."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        delay = 20e-6
+        while not self.try_put(kind, sensor_idx, payload):
+            if deadline is not None and time.perf_counter() >= deadline:
+                raise RingFull(
+                    f"pipe ring full ({self.depth()} records) after {timeout}s"
+                )
+            time.sleep(delay)
+            delay = min(delay * 2, 2e-3)
 
     def get_available(self, max_records: int = 0) -> List[Record]:
         records: List[Record] = []
+        drained_bytes = 0
         while self._rx.poll(0):
             kind, sensor_idx, enqueued_at, payload = self._rx.recv()
             records.append(Record(kind, sensor_idx, enqueued_at, payload))
+            drained_bytes += _HDR.size + len(payload)
             if max_records and len(records) >= max_records:
                 break
         if records:
             self._records_out.value += len(records)
+            self._bytes_out.value += drained_bytes
         return records
 
     def close(self, unlink: bool = False) -> None:
@@ -357,7 +427,7 @@ def make_ring(transport: str = "shm", capacity_bytes: int = 1 << 20):
     if transport not in ("shm", "pipe", "auto"):
         raise ValueError(f"unknown transport {transport!r}")
     if transport == "pipe":
-        return PipeRing()
+        return PipeRing(capacity_bytes=capacity_bytes)
     try:
         return ShmRing(capacity_bytes=capacity_bytes)
     except Exception:
@@ -366,4 +436,4 @@ def make_ring(transport: str = "shm", capacity_bytes: int = 1 << 20):
         logging.getLogger(__name__).warning(
             "shared memory unavailable; process hub falling back to pipe transport"
         )
-        return PipeRing()
+        return PipeRing(capacity_bytes=capacity_bytes)

@@ -98,6 +98,24 @@ class TestAsyncServer:
                 is not None
             )
 
+    @pytest.mark.parametrize("kind", sorted(HUBS))
+    def test_finish_after_hub_side_removal_replies_error(self, kind):
+        from repro.serving import ProtocolError, SensorClient
+
+        hub = HUBS[kind](HubConfig(num_workers=1))
+        with AsyncTrackingServer(hub=hub) as server:
+            host, port = server.address
+            with SensorClient(host, port, "cam") as client:
+                # Race the connection: the hub forgets the sensor while the
+                # client still believes it is live.  The server must answer
+                # the stray finish with an error instead of dropping the
+                # connection without a reply.
+                server.hub.close_sensor("cam", timeout=60.0)
+                server.hub.remove_sensor("cam")
+                with pytest.raises(ProtocolError, match="not registered"):
+                    client.finish()
+                assert "repro_" in client.request_metrics()
+
     def test_duplicate_sensor_id_rejected(self):
         from repro.serving import ProtocolError, SensorClient
 

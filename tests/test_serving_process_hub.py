@@ -9,6 +9,7 @@ per-shard gauge exposition, which the CI smoke job also gates.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -19,6 +20,7 @@ from repro.events.types import make_packet
 from repro.obs import parse_prometheus_text, sample_value
 from repro.serving.hub import HubConfig, TrackingHub
 from repro.serving.process_hub import ProcessTrackingHub
+from repro.serving.rebalance import RebalancePolicy
 
 HUBS = {"thread": TrackingHub, "process": ProcessTrackingHub}
 
@@ -228,6 +230,45 @@ class TestMigration:
         assert result.num_frames == expected.num_frames
         assert result.num_track_observations == expected.total_track_observations()
 
+    @pytest.mark.parametrize("kind", sorted(HUBS))
+    def test_migration_racing_submits_preserves_output_exactly(self, kind):
+        # Regression: the shard-map flip and the two marker enqueues must
+        # be atomic with respect to concurrent submits (both hubs hold the
+        # affected shard locks across them, and submits re-check the map
+        # under their shard's lock).  Without the interlock, a racing
+        # batch can land on the source queue *behind* the migrate-out
+        # marker — ingested into the abandoned session and lost from the
+        # migrated stream — or on the target queue ahead of the barrier.
+        stream = _moving_block_stream(seed=13, num_frames=40)
+        batches = list(_batches(stream, batch_us=8_000))
+        expected = _expected(stream)
+        with HUBS[kind](HubConfig(num_workers=2)) as hub:
+            hub.register("cam", shard=0)
+            errors = []
+
+            def produce():
+                try:
+                    for batch in batches:
+                        assert hub.submit("cam", batch)
+                        time.sleep(0.001)  # leave room for migrations to land
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+
+            producer = threading.Thread(target=produce)
+            producer.start()
+            bounces, target = 0, 1
+            while producer.is_alive():
+                if hub.migrate_sensor("cam", target, timeout=60.0):
+                    bounces += 1
+                target = 1 - target
+            producer.join()
+            result = hub.close_sensor("cam", timeout=60)
+        assert not errors
+        assert bounces >= 1, "producer finished before any migration landed"
+        assert result.num_events == len(stream)
+        assert result.num_frames == expected.num_frames
+        assert result.num_track_observations == expected.total_track_observations()
+
     def test_migrate_to_same_shard_is_a_no_op(self):
         with ProcessTrackingHub(HubConfig(num_workers=2)) as hub:
             hub.register("cam", shard=1)
@@ -240,6 +281,33 @@ class TestMigration:
                 hub.migrate_sensor("ghost", 1)
             with pytest.raises(ValueError):
                 hub.register("cam", shard=7)
+
+
+class TestRebalanceThread:
+    @pytest.mark.parametrize("kind", sorted(HUBS))
+    def test_rebalance_policy_runs_off_the_submit_path(self, kind):
+        # A hair-trigger policy during live ingest: rebalancer-initiated
+        # migrations must stay invisible in the output, and the evaluation
+        # happens on the hub's own rebalancer thread (submits only set a
+        # wake event), which stop() retires cleanly.
+        policy = RebalancePolicy(imbalance_ratio=1.0, min_queue_delta=0)
+        config = HubConfig(num_workers=2, rebalance=policy, rebalance_check_every=4)
+        stream = _moving_block_stream(seed=17, num_frames=20)
+        expected = _expected(stream)
+        hub = HUBS[kind](config)
+        with hub:
+            assert hub._rebalance_thread is not None
+            # Two sensors on one shard give the planner a movable candidate.
+            hub.register("cam", shard=0)
+            hub.register("decoy", shard=0)
+            for batch in _batches(stream):
+                assert hub.submit("cam", batch)
+            result = hub.close_sensor("cam", timeout=60)
+            hub.close_sensor("decoy", timeout=60)
+        assert hub._rebalance_thread is None
+        assert result.num_events == len(stream)
+        assert result.num_frames == expected.num_frames
+        assert result.num_track_observations == expected.total_track_observations()
 
 
 class TestShardGauges:

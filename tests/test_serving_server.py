@@ -232,6 +232,19 @@ class TestTrackingServer:
                 assert reply["type"] == "error"
                 assert "hello" in reply["message"]
 
+    def test_finish_after_hub_side_removal_replies_error(self):
+        with TrackingServer() as server:
+            host, port = server.address
+            with SensorClient(host, port, "cam") as client:
+                # The hub forgets the sensor while the client still believes
+                # it is live; the stray finish must get an error reply, not
+                # a silently dropped connection.
+                server.hub.close_sensor("cam", timeout=60.0)
+                server.hub.remove_sensor("cam")
+                with pytest.raises(ProtocolError, match="not registered"):
+                    client.finish()
+                assert "repro_" in client.request_metrics()
+
     def test_out_of_bounds_events_reported_as_error(self):
         with TrackingServer() as server:
             host, port = server.address

@@ -138,6 +138,56 @@ class TestShmRingEdges:
         ring.close(unlink=True)
 
 
+class TestPipeRingBackpressure:
+    def test_try_put_refuses_at_capacity_instead_of_blocking(self):
+        ring = PipeRing(capacity_bytes=4096)
+        try:
+            payload = b"z" * 1000
+            accepted = 0
+            while ring.try_put(KIND_EVENTS, 0, payload):
+                accepted += 1
+                assert accepted < 64, "try_put never refused"
+            assert accepted >= 3  # several records fit under the cap
+            assert ring.depth() == accepted
+            # Drain, then the freed budget must admit records again.
+            assert len(ring.get_available()) == accepted
+            assert ring.try_put(KIND_EVENTS, 0, payload)
+        finally:
+            ring.close()
+
+    def test_put_raises_ring_full_on_timeout(self):
+        ring = PipeRing(capacity_bytes=4096)
+        try:
+            while ring.try_put(KIND_EVENTS, 0, b"z" * 1000):
+                pass
+            with pytest.raises(RingFull):
+                ring.put(KIND_EVENTS, 0, b"z" * 1000, timeout=0.05)
+        finally:
+            ring.close()
+
+    def test_oversized_record_passes_an_idle_ring(self):
+        # Unlike ShmRing, an oversized record must not wedge forever: it is
+        # admitted when nothing is in flight, and refused only while the
+        # ring is occupied.
+        ring = PipeRing(capacity_bytes=512)
+        try:
+            big = b"z" * 1000
+            assert ring.try_put(KIND_EVENTS, 0, big)
+            assert not ring.try_put(KIND_EVENTS, 0, big)
+            (record,) = ring.get_available()
+            assert record.payload == big
+            assert ring.try_put(KIND_EVENTS, 0, big)
+        finally:
+            ring.close()
+
+    def test_capacity_bytes_reports_configured_bound(self):
+        ring = PipeRing(capacity_bytes=4096)
+        try:
+            assert ring.capacity_bytes == 4096
+        finally:
+            ring.close()
+
+
 class TestMakeRing:
     def test_explicit_kinds(self):
         shm = make_ring("shm", capacity_bytes=4096)
