@@ -1,0 +1,183 @@
+"""``python -m repro.analysis`` — run the repository's analyzers.
+
+Exit codes follow the ``repro.bench`` convention:
+
+* ``0`` — analysis ran; without ``--check`` findings are informational,
+  with ``--check`` it additionally means no unsuppressed findings.
+* ``1`` — ``--check`` and at least one unsuppressed finding (or a module
+  that failed to parse).
+* ``2`` — configuration/usage error: unknown rule id, malformed baseline
+  (including a suppression without a reason), missing root.
+
+Typical invocations::
+
+    PYTHONPATH=src python -m repro.analysis                 # report
+    PYTHONPATH=src python -m repro.analysis --check         # CI gate
+    PYTHONPATH=src python -m repro.analysis --rule CONC003 --json
+    PYTHONPATH=src python -m repro.analysis --baseline other.json --root /tree
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.engine import RULES, run_rules
+from repro.analysis.findings import Baseline, BaselineError, load_baseline
+from repro.analysis.index import CodeIndex
+
+DEFAULT_BASELINE = "ANALYSIS_baseline.json"
+
+
+def _default_root() -> Path:
+    """The repository checkout: cwd when it has the src layout, else the
+    tree this package was imported from."""
+    cwd = Path.cwd()
+    if (cwd / "src" / "repro").is_dir():
+        return cwd
+    package_root = Path(__file__).resolve().parents[3]
+    if (package_root / "src" / "repro").is_dir():
+        return package_root
+    return cwd
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based static analysis for this repository.",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any unsuppressed finding remains (CI gate)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule id (repeatable, or comma-separated)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "suppression baseline to apply (default: ANALYSIS_baseline.json "
+            "under the root when present)"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="tree to analyze (default: this repository checkout)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered rules and their invariants, then exit",
+    )
+    return parser
+
+
+def _selected_rules(raw: Optional[List[str]]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    selected: List[str] = []
+    for chunk in raw:
+        selected.extend(part.strip() for part in chunk.split(",") if part.strip())
+    return selected or None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list:
+        for rule_id in sorted(RULES):
+            entry = RULES[rule_id]
+            print(f"{rule_id}  {entry.title}")
+            print(f"        invariant: {entry.invariant}")
+        return 0
+
+    root = Path(args.root) if args.root else _default_root()
+    if not root.is_dir():
+        print(f"error: root {root} is not a directory", file=sys.stderr)
+        return 2
+
+    index = CodeIndex.build(root)
+    try:
+        findings = run_rules(index, _selected_rules(args.rule))
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline = Baseline()
+    baseline_path: Optional[Path] = None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    elif (root / DEFAULT_BASELINE).is_file():
+        baseline_path = root / DEFAULT_BASELINE
+    if baseline_path is not None:
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    unsuppressed, suppressed, stale = baseline.partition(findings)
+    if args.rule is not None:
+        # A partial run only exercises some rules; the other rules'
+        # suppressions legitimately match nothing, so staleness is only
+        # meaningful on a full run.
+        stale = []
+
+    if args.json:
+        report = {
+            "root": str(root),
+            "baseline": str(baseline_path) if baseline_path else None,
+            "findings": [finding.to_dict() for finding in unsuppressed],
+            "suppressed": [finding.to_dict() for finding in suppressed],
+            "stale_suppressions": [
+                {
+                    "rule": entry.rule,
+                    "file": entry.file,
+                    "contains": entry.contains,
+                    "reason": entry.reason,
+                }
+                for entry in stale
+            ],
+            "parse_errors": list(index.errors),
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for finding in unsuppressed:
+            print(finding.describe())
+        for error in index.errors:
+            print(f"parse error: {error}")
+        for entry in stale:
+            print(
+                f"stale suppression: {entry.describe()} matched nothing — "
+                "delete it or re-check the pattern"
+            )
+        print(
+            f"{len(unsuppressed)} finding(s), {len(suppressed)} suppressed "
+            f"by baseline, {len(stale)} stale suppression(s), "
+            f"{len(index.errors)} parse error(s)"
+        )
+
+    if args.check and (unsuppressed or index.errors):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

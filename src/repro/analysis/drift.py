@@ -1,0 +1,114 @@
+"""Docs drift checkers (rules DRIFT001/DRIFT002).
+
+The repository's published operational surface is small and explicit: the
+CLI flags of the ``repro.*`` entry points, and the Prometheus metric
+names the observability layer (PR 7) exports.  Both are the kind of
+surface that silently drifts — a new ``--flag`` or ``repro_*`` counter
+ships in code, the docs never mention it, and an operator discovers it by
+reading source.  These rules diff the code-side inventory against the
+documentation set (``README.md`` + ``docs/ARCHITECTURE.md``):
+
+* **DRIFT001** — every ``add_argument("--flag", ...)`` literal must
+  appear somewhere in the docs.
+* **DRIFT002** — every ``repro_*`` metric-name string literal must appear
+  somewhere in the docs.
+
+Matching is deliberately coarse (substring over the concatenated doc
+text): the rules demand the name be *mentioned*, not documented in any
+particular format, which keeps false positives near zero while still
+catching the ship-and-forget case.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List
+
+from repro.analysis.engine import rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.index import CodeIndex
+
+#: Prometheus-style metric names the observability layer exports.
+METRIC_NAME = re.compile(r"^repro_[a-z0-9_]+$")
+
+
+@rule(
+    "DRIFT001",
+    "undocumented CLI flag",
+    "every argparse flag of the repro.* CLIs is mentioned in the docs (PR 1+)",
+)
+def check_flag_drift(index: CodeIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    docs = index.doc_text
+    for module in index.iter_modules():
+        seen: Dict[str, int] = {}
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+            ):
+                continue
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.startswith("--")
+                ):
+                    seen.setdefault(arg.value, node.lineno)
+        for flag, line in sorted(seen.items()):
+            if flag not in docs:
+                findings.append(
+                    Finding(
+                        rule="DRIFT001",
+                        severity=Severity.ERROR,
+                        file=module.rel,
+                        line=line,
+                        message=(
+                            f"CLI flag '{flag}' ({module.name}) is not "
+                            "mentioned in README.md or docs/ARCHITECTURE.md"
+                        ),
+                        suggestion=(
+                            f"document '{flag}' in the relevant CLI section"
+                        ),
+                    )
+                )
+    return findings
+
+
+@rule(
+    "DRIFT002",
+    "undocumented metric name",
+    "every exported repro_* metric is mentioned in the docs (PR 7)",
+)
+def check_metric_drift(index: CodeIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    docs = index.doc_text
+    for module in index.iter_modules():
+        seen: Dict[str, int] = {}
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and METRIC_NAME.match(node.value)
+            ):
+                seen.setdefault(node.value, node.lineno)
+        for name, line in sorted(seen.items()):
+            if name not in docs:
+                findings.append(
+                    Finding(
+                        rule="DRIFT002",
+                        severity=Severity.ERROR,
+                        file=module.rel,
+                        line=line,
+                        message=(
+                            f"metric name '{name}' ({module.name}) is not "
+                            "mentioned in README.md or docs/ARCHITECTURE.md"
+                        ),
+                        suggestion=(
+                            f"add '{name}' to the metrics table in the docs"
+                        ),
+                    )
+                )
+    return findings

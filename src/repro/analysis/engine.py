@@ -1,0 +1,63 @@
+"""Rule registry and runner.
+
+A rule is a named check over the :class:`~repro.analysis.index.CodeIndex`
+returning :class:`~repro.analysis.findings.Finding` objects.  Rules
+register themselves at import time through :func:`rule`; the CLI and the
+tests both go through :func:`run_rules`, so an analyzer behaves
+identically against the real tree and against fixture trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.index import CodeIndex
+
+RuleCheck = Callable[[CodeIndex], List[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered analyzer."""
+
+    id: str
+    title: str
+    invariant: str
+    check: RuleCheck
+
+
+#: All registered rules, id -> :class:`Rule` (populated on package import).
+RULES: Dict[str, Rule] = {}
+
+
+def rule(id: str, title: str, invariant: str) -> Callable[[RuleCheck], RuleCheck]:
+    """Decorator registering an analyzer under a stable rule id."""
+
+    def register(check: RuleCheck) -> RuleCheck:
+        if id in RULES:
+            raise ValueError(f"duplicate rule id {id!r}")
+        RULES[id] = Rule(id=id, title=title, invariant=invariant, check=check)
+        return check
+
+    return register
+
+
+def run_rules(
+    index: CodeIndex, rule_ids: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Run the selected rules (default: all) and return sorted findings."""
+    if rule_ids is None:
+        selected = list(RULES.values())
+    else:
+        selected = []
+        for rule_id in rule_ids:
+            if rule_id not in RULES:
+                known = ", ".join(sorted(RULES))
+                raise KeyError(f"unknown rule {rule_id!r} (known: {known})")
+            selected.append(RULES[rule_id])
+    findings: List[Finding] = []
+    for entry in selected:
+        findings.extend(entry.check(index))
+    return sorted(findings, key=Finding.sort_key)

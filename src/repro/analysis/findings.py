@@ -1,0 +1,166 @@
+"""Structured findings and the committed suppression baseline.
+
+A finding is the analyzer's unit of output: rule id, severity, location,
+message, and (when the rule knows one) a suggested fix.  The baseline
+(``ANALYSIS_baseline.json``) is the repository's explicit list of findings
+that are *intentional* — every entry must carry a reason string, so the
+file doubles as documentation of the patterns the serving layer relies on
+(producer-owned ring cursors, ordered multi-lock acquisition, enqueue
+under the shard lock, ...).  Deleting an entry whose pattern still exists
+re-surfaces the finding and fails ``--check``.
+
+Baseline entries match findings structurally (rule + file + a message
+substring) rather than by line number, so routine edits that shift lines
+do not invalidate the baseline, while moving the pattern to another file
+or changing its shape does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+
+class Severity:
+    """Finding severities (plain constants keep the JSON form obvious)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    ALL = (ERROR, WARNING)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule: str
+    severity: str
+    file: str
+    line: int
+    message: str
+    suggestion: Optional[str] = None
+
+    def describe(self) -> str:
+        """The one-line human rendering (``file:line: RULE severity: ...``)."""
+        text = f"{self.file}:{self.line}: {self.rule} {self.severity}: {self.message}"
+        if self.suggestion:
+            text += f" (suggested fix: {self.suggestion})"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "suggestion": self.suggestion,
+        }
+
+    def sort_key(self) -> Tuple[str, int, str, str]:
+        return (self.file, self.line, self.rule, self.message)
+
+
+class BaselineError(ValueError):
+    """Raised for a malformed baseline file (missing reason, bad JSON...)."""
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One baseline entry: which findings it silences, and why."""
+
+    rule: str
+    file: str
+    contains: str
+    reason: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            self.rule == finding.rule
+            and self.file == finding.file
+            and self.contains in finding.message
+        )
+
+    def describe(self) -> str:
+        return f"{self.rule} @ {self.file} (contains {self.contains!r})"
+
+
+@dataclass
+class Baseline:
+    """The suppression set plus bookkeeping of which entries were used."""
+
+    suppressions: List[Suppression] = field(default_factory=list)
+    path: Optional[Path] = None
+
+    def partition(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Suppression]]:
+        """Split findings into (unsuppressed, suppressed); report stale entries.
+
+        A suppression is *stale* when no finding matched it — usually the
+        suppressed pattern was fixed and the entry should be deleted.
+        """
+        used = [False] * len(self.suppressions)
+        unsuppressed: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            matched = False
+            for position, suppression in enumerate(self.suppressions):
+                if suppression.matches(finding):
+                    used[position] = True
+                    matched = True
+            (suppressed if matched else unsuppressed).append(finding)
+        stale = [
+            suppression
+            for position, suppression in enumerate(self.suppressions)
+            if not used[position]
+        ]
+        return unsuppressed, suppressed, stale
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load and validate a baseline file.
+
+    Every entry must carry non-empty ``rule``, ``file`` and ``reason``
+    strings — a suppression without a recorded reason defeats the point of
+    the file and is rejected outright.
+    """
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(raw, dict) or not isinstance(raw.get("suppressions"), list):
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'suppressions' list"
+        )
+    suppressions: List[Suppression] = []
+    for position, entry in enumerate(raw["suppressions"]):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline entry {position} is not an object")
+        rule = entry.get("rule")
+        file = entry.get("file")
+        reason = entry.get("reason")
+        contains = entry.get("contains", "")
+        if not (isinstance(rule, str) and rule):
+            raise BaselineError(f"baseline entry {position} lacks a 'rule'")
+        if not (isinstance(file, str) and file):
+            raise BaselineError(f"baseline entry {position} lacks a 'file'")
+        if not (isinstance(reason, str) and reason.strip()):
+            raise BaselineError(
+                f"baseline entry {position} ({rule} @ {file}) lacks a 'reason' — "
+                "every suppression must document why the pattern is intentional"
+            )
+        if not isinstance(contains, str):
+            raise BaselineError(
+                f"baseline entry {position} ({rule} @ {file}): 'contains' "
+                "must be a string"
+            )
+        suppressions.append(
+            Suppression(rule=rule, file=file, contains=contains, reason=reason)
+        )
+    return Baseline(suppressions=suppressions, path=path)

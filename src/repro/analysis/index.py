@@ -1,0 +1,110 @@
+"""The parsed view of the repository every analyzer rule reads.
+
+A :class:`CodeIndex` is built once per run from a *root* directory (the
+repository checkout, or a fixture tree in the analyzer's own tests).  It
+parses every Python module under ``root/src`` (falling back to ``root``
+itself when there is no ``src`` layout), and lazily loads the text files
+some rules diff against: the documentation set (``README.md`` and
+``docs/ARCHITECTURE.md``) for the drift rules, and the fast-path parity
+test (``tests/test_event_path_parity.py``) for the parity contract.
+
+Keeping all file access here means a rule never touches the filesystem —
+which is what lets the test suite point the whole engine at small fixture
+trees with known-good and known-bad twins.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+#: Documentation files the drift rules treat as the published surface.
+DOC_FILES = ("README.md", "docs/ARCHITECTURE.md")
+
+#: The committed parity harness the fast-path contract points at.
+PARITY_TEST_FILE = "tests/test_event_path_parity.py"
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed Python module.
+
+    ``rel`` is the root-relative POSIX path (what findings report), and
+    ``name`` the dotted module name relative to the source root (what the
+    parity rule matches against test imports).
+    """
+
+    path: Path
+    rel: str
+    name: str
+    source: str
+    tree: ast.Module
+
+
+@dataclass
+class CodeIndex:
+    """Parsed modules plus the text surfaces rules compare against."""
+
+    root: Path
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+    _doc_text: Optional[str] = None
+    _parity_text: Optional[str] = None
+
+    @classmethod
+    def build(cls, root: Path) -> "CodeIndex":
+        """Parse every module under ``root/src`` (or ``root``)."""
+        root = root.resolve()
+        index = cls(root=root)
+        src = root / "src"
+        scan = src if src.is_dir() else root
+        for path in sorted(scan.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            dotted = ".".join(path.relative_to(scan).with_suffix("").parts)
+            if dotted.endswith(".__init__"):
+                dotted = dotted[: -len(".__init__")]
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=rel)
+            except (OSError, SyntaxError) as error:
+                index.errors.append(f"{rel}: {error}")
+                continue
+            index.modules[dotted] = ModuleInfo(
+                path=path, rel=rel, name=dotted, source=source, tree=tree
+            )
+        return index
+
+    def get(self, name: str) -> Optional[ModuleInfo]:
+        """The module with this dotted name, or ``None``."""
+        return self.modules.get(name)
+
+    def iter_modules(self, prefix: str = "") -> Iterator[ModuleInfo]:
+        """All modules whose dotted name starts with ``prefix``."""
+        for name in sorted(self.modules):
+            if not prefix or name == prefix or name.startswith(prefix + "."):
+                yield self.modules[name]
+
+    def read_text(self, rel: str) -> Optional[str]:
+        """Root-relative text file contents, or ``None`` when absent."""
+        path = self.root / rel
+        try:
+            return path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+    @property
+    def doc_text(self) -> str:
+        """Concatenated documentation surface (drift-rule reference)."""
+        if self._doc_text is None:
+            parts = [self.read_text(rel) or "" for rel in DOC_FILES]
+            self._doc_text = "\n".join(parts)
+        return self._doc_text
+
+    @property
+    def parity_test_text(self) -> Optional[str]:
+        """Source of the parity harness, or ``None`` when the tree has none."""
+        if self._parity_text is None:
+            self._parity_text = self.read_text(PARITY_TEST_FILE)
+        return self._parity_text

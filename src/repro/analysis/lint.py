@@ -1,0 +1,102 @@
+"""In-tree lint rule (LINT001: unused module-level imports).
+
+Ruff covers far more in CI (see ``pyproject.toml``), but it is an external
+tool and is not guaranteed to exist in every environment this repository
+runs in.  This rule keeps the single most common hygiene violation —
+imports left behind by refactors — enforceable by ``python -m
+repro.analysis`` alone, with the same structured findings and baseline
+machinery as the semantic rules.
+
+A module-level import counts as used when its bound name appears anywhere
+else in the module (including inside strings is *not* checked — doctests
+don't keep imports alive), or when it is re-exported via ``__all__``.
+``__init__.py`` modules are skipped entirely: their imports exist to
+shape the package namespace.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from repro.analysis.engine import rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.index import CodeIndex
+
+
+def _module_exports(tree: ast.Module) -> Set[str]:
+    """Names listed in a literal module-level ``__all__``."""
+    exports: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    for element in ast.walk(node.value):
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            exports.add(element.value)
+    return exports
+
+
+@rule(
+    "LINT001",
+    "unused module-level import",
+    "no dead imports accumulate in the tree (hygiene floor under ruff)",
+)
+def check_unused_imports(index: CodeIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in index.iter_modules():
+        if module.rel.endswith("__init__.py"):
+            continue
+        imported: Dict[str, int] = {}
+        import_nodes: Set[int] = set()
+        for node in module.tree.body:
+            if isinstance(node, ast.Import):
+                import_nodes.add(id(node))
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    imported.setdefault(bound, node.lineno)
+            elif isinstance(node, ast.ImportFrom):
+                import_nodes.add(id(node))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    imported.setdefault(bound, node.lineno)
+        if not imported:
+            continue
+        exports = _module_exports(module.tree)
+        used: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)) and id(
+                node
+            ) in import_nodes:
+                continue
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                root = node
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name):
+                    used.add(root.id)
+        for name, line in sorted(imported.items(), key=lambda item: item[1]):
+            if name in used or name in exports or name.startswith("_"):
+                continue
+            # ``from __future__ import annotations`` binds no usable name.
+            if name == "annotations":
+                continue
+            findings.append(
+                Finding(
+                    rule="LINT001",
+                    severity=Severity.WARNING,
+                    file=module.rel,
+                    line=line,
+                    message=(
+                        f"import '{name}' in {module.name} is never used"
+                    ),
+                    suggestion=f"delete the unused import of '{name}'",
+                )
+            )
+    return findings

@@ -40,7 +40,6 @@ from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
-from repro.core.config import EbbiotConfig
 from repro.core.pipeline import EbbiotPipeline
 from repro.runtime.scenes import build_scene_recordings
 from repro.serving.hub import HubConfig

@@ -12,7 +12,7 @@ discarded — the "check in the original image" the paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -245,11 +245,13 @@ class HistogramRegionProposer:
                 - integral[y2[None, :], x1[:, None]]
                 + integral[y1[None, :], x1[:, None]]
             )
-            count_of = lambda i, j: int(counts[i, j])
+            def count_of(i: int, j: int) -> int:
+                return int(counts[i, j])
+
         else:
-            count_of = lambda i, j: int(
-                np.count_nonzero(frame[y1[j] : y2[j], x1[i] : x2[i]])
-            )
+
+            def count_of(i: int, j: int) -> int:
+                return int(np.count_nonzero(frame[y1[j] : y2[j], x1[i] : x2[i]]))
 
         proposals: List[RegionProposal] = []
         for x_index, y_index in candidates:

@@ -24,7 +24,7 @@ the paper's claim that the tracker state fits in well under 0.5 kB.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.histogram_rpn import RegionProposal

@@ -20,7 +20,7 @@ the paper's Fig. 4/5 pipelines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Iterator, List, Optional, Union
 
 import numpy as np
 

@@ -11,8 +11,8 @@ full durations).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
 
 from repro.datasets.annotations import RecordingAnnotations
 from repro.sensor.davis import SensorGeometry

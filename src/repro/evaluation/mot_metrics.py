@@ -10,7 +10,7 @@ precision/recall evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.evaluation.matching import match_frame
 from repro.evaluation.precision_recall import _align_tracks_to_ground_truth

@@ -7,7 +7,7 @@ examples can reuse it.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.evaluation.precision_recall import PrecisionRecall
 

@@ -15,7 +15,6 @@ from typing import Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.events.types import (
-    EVENT_DTYPE,
     concatenate_packets,
     empty_packet,
     is_time_sorted,

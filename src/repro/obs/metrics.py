@@ -28,7 +28,7 @@ import re
 import threading
 from bisect import bisect_left
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -205,7 +205,14 @@ class _Connection:
             if tracker != pipeline_config.tracker:
                 pipeline_config = replace(pipeline_config, tracker=tracker)
         try:
-            hub.register(sensor_id, config=pipeline_config, on_frames=self.on_frames)
+            # register blocks on the hub's control path (the process hub
+            # does a ring put with a long timeout) — keep it off the loop.
+            await asyncio.to_thread(
+                hub.register,
+                sensor_id,
+                config=pipeline_config,
+                on_frames=self.on_frames,
+            )
         except ValueError as error:
             await self.send(error_message(str(error), sensor_id))
             return False

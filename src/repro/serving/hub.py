@@ -523,7 +523,10 @@ class TrackingHub:
             raise TimeoutError(f"timed out migrating sensor {sensor_id!r}")
         if handoff.error is not None:
             raise handoff.error
-        self._migrations += 1
+        # Migrations may race (user call vs rebalancer thread); the counter
+        # increment must not lose updates.
+        with self._sessions_lock:
+            self._migrations += 1
         return True
 
     def shard_stats(self) -> List[ShardStats]:

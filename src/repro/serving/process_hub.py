@@ -49,12 +49,12 @@ import threading
 import time
 import pickle
 import zlib
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.config import EbbiotConfig
-from repro.events.types import EVENT_DTYPE, normalize_packet
+from repro.events.types import normalize_packet
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.aggregate import BatchResult, RecordingResult
 from repro.serving.hub import FramesCallback, HubConfig
@@ -262,7 +262,8 @@ class ProcessTrackingHub:
                 self._resolve(message[1], message)
             elif kind == "migrated":
                 _, mig_id, envelope, error = message
-                target = self._pending_migrations.get(mig_id)
+                with self._map_lock:
+                    target = self._pending_migrations.get(mig_id)
                 if error is None and target is not None:
                     try:
                         self._cmd_tx[target].send(("envelope", mig_id, envelope))
@@ -351,7 +352,10 @@ class ProcessTrackingHub:
         with self._ring_locks[assigned]:
             self._rings[assigned].put(KIND_REGISTER, idx, payload, timeout=30.0)
         tracker = (config or self.config.pipeline_config).tracker
-        self._trackers[sensor_id] = tracker
+        # merged_telemetry reads _trackers under _map_lock from other
+        # threads; publish the entry under the same lock.
+        with self._map_lock:
+            self._trackers[sensor_id] = tracker
         self.telemetry.sensor(sensor_id).set_tracker(tracker)
 
     def _make_route(self, sensor_id: str, shard: int, idx: int) -> tuple:
@@ -579,11 +583,13 @@ class ProcessTrackingHub:
                 mig_id, waiter, timeout, f"migration of {sensor_id!r}"
             )
         finally:
-            self._pending_migrations.pop(mig_id, None)
+            with self._map_lock:
+                self._pending_migrations.pop(mig_id, None)
         error = message[2]
         if error is not None:
             raise RuntimeError(f"migrating sensor {sensor_id!r} failed: {error}")
-        self._migrations += 1
+        with self._map_lock:
+            self._migrations += 1
         return True
 
     def shard_stats(self) -> List[ShardStats]:

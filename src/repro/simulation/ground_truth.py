@@ -10,7 +10,7 @@ produces the same kind of annotation directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.simulation.objects import SceneObject
 from repro.utils.geometry import BoundingBox, clip_box

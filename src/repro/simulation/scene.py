@@ -8,7 +8,7 @@ whole thing into a time-sorted event stream plus ground-truth annotations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

@@ -10,7 +10,7 @@ use these to create the ENG-like and LT4-like recordings of Table I.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 

@@ -13,7 +13,7 @@ ground-truth boxes.  Two strategies are provided:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 

@@ -10,7 +10,7 @@ lives in :mod:`repro.trackers.kalman_tracker`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -10,16 +10,15 @@ centroid distance, as in the composite-vision tracker the paper cites
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.core.histogram_rpn import RegionProposal
 from repro.trackers.association import greedy_overlap_assignment, unmatched_indices
 from repro.trackers.base import TrackerBase, TrackObservation, TrackState
 from repro.trackers.kalman import ConstantVelocityKalmanFilter
-from repro.utils.geometry import BoundingBox, boxes_iou
+from repro.utils.geometry import BoundingBox
 
 
 @dataclass

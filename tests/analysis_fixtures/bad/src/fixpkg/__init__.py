@@ -1,0 +1,1 @@
+"""Known-bad fixture package: every module seeds one rule violation."""

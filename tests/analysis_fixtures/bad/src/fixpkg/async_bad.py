@@ -1,0 +1,19 @@
+"""Seeded CONC004 violations: blocking hub work on the event loop."""
+
+import time
+
+
+class BadFrontDoor:
+    def __init__(self, hub):
+        self.hub = hub
+
+    async def handle_hello(self, sensor_id, config):
+        # CONC004: register blocks on the hub's control path.
+        self.hub.register(sensor_id, config=config)
+
+    async def handle_finish(self, sensor_id):
+        # CONC004: close_sensor waits for a full queue drain.
+        result = self.hub.close_sensor(sensor_id)
+        # CONC004: time.sleep parks the whole event loop.
+        time.sleep(0.01)
+        return result

@@ -1,0 +1,53 @@
+"""Seeded concurrency violations: CONC001, CONC002 (both parts), CONC003."""
+
+import queue
+import threading
+
+
+class BadHub:
+    def __init__(self):
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+        self._shard_locks = [threading.Lock() for _ in range(4)]
+        self._counter = 0
+        self._table = {}
+        self._queue = queue.Queue()
+        self._worker = threading.Thread(target=self._run, daemon=True)
+
+    def forward(self):
+        # Takes a then b ...
+        with self._lock_a:
+            with self._lock_b:
+                self._counter += 1
+
+    def backward(self):
+        # ... and here b then a: CONC001 lock-order inversion.
+        with self._lock_b:
+            with self._lock_a:
+                self._counter -= 1
+
+    def unsorted_pair(self, first, second):
+        # CONC001 warning: two members of one lock list, unsorted indices.
+        with self._shard_locks[first], self._shard_locks[second]:
+            self._table["pair"] = (first, second)
+
+    def racy_write(self, key, value):
+        # CONC002: mutated with no lock, read under _lock_a in lookup().
+        self._table[key] = value
+
+    def lookup(self, key):
+        with self._lock_a:
+            return self._table.get(key)
+
+    def tally(self):
+        # CONC002: unguarded read-modify-write in a thread-spawning class.
+        self._counter += 1
+
+    def publish(self, item):
+        # CONC003: blocking queue put while holding the lock.
+        with self._lock_a:
+            self._queue.put(item)
+
+    def _run(self):
+        while True:
+            self._queue.get()

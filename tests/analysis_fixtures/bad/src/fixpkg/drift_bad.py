@@ -1,0 +1,11 @@
+"""Seeded DRIFT001 + DRIFT002 violations: flag and metric absent from docs."""
+
+import argparse
+
+WIDGET_METRIC = "repro_fixture_widgets_total"
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="fixpkg")
+    parser.add_argument("--widget-level", type=int, default=1)
+    return parser

@@ -1,0 +1,8 @@
+"""Seeded LINT001 violation: module-level import that nothing uses."""
+
+import os
+import json
+
+
+def encode(payload):
+    return json.dumps(payload)

@@ -1,0 +1,23 @@
+"""Seeded PARITY001 violation: gated fast path with no parity coverage.
+
+The module consults ``scalar_forced`` but the tree's
+``tests/test_event_path_parity.py`` never mentions ``fixpkg.parity_bad``.
+"""
+
+from fixpkg.gates import scalar_forced
+
+
+class GatedFilter:
+    def __init__(self, vectorized=True):
+        self.vectorized = vectorized
+
+    def process(self, events):
+        if not self.vectorized or scalar_forced():
+            return self.process_scalar(events)
+        return self._process_fast(events)
+
+    def process_scalar(self, events):
+        return events
+
+    def _process_fast(self, events):
+        return events

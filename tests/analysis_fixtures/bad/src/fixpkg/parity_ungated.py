@@ -1,0 +1,21 @@
+"""Seeded PARITY002 violation: a ``vectorized`` switch with no gate.
+
+``REPRO_FORCE_SCALAR`` cannot pin this class to its reference path —
+the module never consults ``scalar_forced``.
+"""
+
+
+class UngatedFilter:
+    def __init__(self, vectorized=True):
+        self.vectorized = vectorized
+
+    def process(self, events):
+        if not self.vectorized:
+            return self.process_scalar(events)
+        return self._process_fast(events)
+
+    def process_scalar(self, events):
+        return events
+
+    def _process_fast(self, events):
+        return events

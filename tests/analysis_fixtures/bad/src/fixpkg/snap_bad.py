@@ -1,0 +1,23 @@
+"""Seeded SNAP001 violation: evolving state absent from the snapshot pair."""
+
+
+class BadTracker:
+    def __init__(self):
+        self._count = 0
+        self._history = []
+        self._last_seen = {}
+
+    def step(self, key, value):
+        self._count += 1
+        self._history.append(value)
+        # Mutation through a one-level local alias, like the real filters.
+        table = self._last_seen
+        table[key] = value
+
+    def snapshot(self):
+        # _history and _last_seen are forgotten here ...
+        return {"count": self._count}
+
+    def restore(self, state):
+        # ... and here: SNAP001 for both.
+        self._count = state["count"]

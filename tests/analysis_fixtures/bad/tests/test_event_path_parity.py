@@ -1,0 +1,8 @@
+"""Fixture parity harness for the *bad* tree.
+
+Exists so PARITY001 reports the "never referenced" message rather than
+the "no parity harness" one.  It covers only ``fixpkg.gates`` — the
+gated filter module is deliberately missing from the list below.
+"""
+
+COVERED_MODULES = ["fixpkg.gates"]

@@ -1,0 +1,1 @@
+"""Known-good fixture package: the clean twins of the bad tree."""

@@ -1,0 +1,16 @@
+"""Clean twin of async_bad: hub work handed to threads, async sleeps."""
+
+import asyncio
+
+
+class GoodFrontDoor:
+    def __init__(self, hub):
+        self.hub = hub
+
+    async def handle_hello(self, sensor_id, config):
+        await asyncio.to_thread(self.hub.register, sensor_id, config=config)
+
+    async def handle_finish(self, sensor_id):
+        result = await asyncio.to_thread(self.hub.close_sensor, sensor_id)
+        await asyncio.sleep(0.01)
+        return result

@@ -1,0 +1,48 @@
+"""Clean twin of conc_bad: same shape, the discipline repaired."""
+
+import queue
+import threading
+
+
+class GoodHub:
+    def __init__(self):
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+        self._shard_locks = [threading.Lock() for _ in range(4)]
+        self._counter = 0
+        self._table = {}
+        self._queue = queue.Queue()
+        self._worker = threading.Thread(target=self._run, daemon=True)
+
+    def forward(self):
+        with self._lock_a:
+            with self._lock_b:
+                self._counter += 1
+
+    def backward(self):
+        # Same global order as forward: no inversion.
+        with self._lock_a:
+            with self._lock_b:
+                self._counter -= 1
+
+    def guarded_write(self, key, value):
+        with self._lock_a:
+            self._table[key] = value
+
+    def lookup(self, key):
+        with self._lock_a:
+            return self._table.get(key)
+
+    def tally(self):
+        with self._lock_a:
+            self._counter += 1
+
+    def publish(self, item):
+        # Enqueue outside the critical section.
+        with self._lock_a:
+            payload = self._table.get("pair")
+        self._queue.put((item, payload))
+
+    def _run(self):
+        while True:
+            self._queue.get()

@@ -1,0 +1,11 @@
+"""Clean drift twin: the flag and metric below appear in this root's README."""
+
+import argparse
+
+WIDGET_METRIC = "repro_fixture_widgets_total"
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="fixpkg")
+    parser.add_argument("--widget-level", type=int, default=1)
+    return parser

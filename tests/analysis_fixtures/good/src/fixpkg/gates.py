@@ -1,0 +1,7 @@
+"""Fixture stand-in for the real ``repro.utils.fastpath`` gate."""
+
+import os
+
+
+def scalar_forced():
+    return os.environ.get("REPRO_FORCE_SCALAR", "") not in ("", "0")

@@ -1,0 +1,7 @@
+"""Clean lint twin: every module-level import is used."""
+
+import json
+
+
+def encode(payload):
+    return json.dumps(payload)

@@ -1,0 +1,24 @@
+"""Clean parity twin: gated fast path, covered by the parity harness.
+
+``tests/test_event_path_parity.py`` in this fixture root references
+``fixpkg.parity_good``, so PARITY001 stays silent, and the ``vectorized``
+switch shares its dispatch with ``scalar_forced`` so PARITY002 does too.
+"""
+
+from fixpkg.gates import scalar_forced
+
+
+class CoveredFilter:
+    def __init__(self, vectorized=True):
+        self.vectorized = vectorized
+
+    def process(self, events):
+        if not self.vectorized or scalar_forced():
+            return self.process_scalar(events)
+        return self._process_fast(events)
+
+    def process_scalar(self, events):
+        return events
+
+    def _process_fast(self, events):
+        return events

@@ -1,0 +1,26 @@
+"""Clean twin of snap_bad: every mutable attribute round-trips."""
+
+
+class GoodTracker:
+    def __init__(self):
+        self._count = 0
+        self._history = []
+        self._last_seen = {}
+
+    def step(self, key, value):
+        self._count += 1
+        self._history.append(value)
+        table = self._last_seen
+        table[key] = value
+
+    def snapshot(self):
+        return {
+            "count": self._count,
+            "history": list(self._history),
+            "last_seen": dict(self._last_seen),
+        }
+
+    def restore(self, state):
+        self._count = state["count"]
+        self._history = list(state["history"])
+        self._last_seen = dict(state["last_seen"])

@@ -1,0 +1,7 @@
+"""Fixture parity harness for the *good* tree.
+
+References every gated module, so PARITY001 stays silent:
+``fixpkg.parity_good`` is exercised here.
+"""
+
+COVERED_MODULES = ["fixpkg.gates", "fixpkg.parity_good"]

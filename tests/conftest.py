@@ -14,6 +14,12 @@ from repro.simulation.scene import Scene, SceneConfig
 from repro.simulation.trajectories import ConstantVelocityTrajectory, crossing_trajectory
 from repro.events.noise import BackgroundActivityNoise
 
+# The analyzer's fixture trees contain deliberately-broken modules and a
+# fake tests/test_event_path_parity.py; they are parsed by
+# tests/test_analysis.py, never imported, and must not be collected.
+collect_ignore = ["analysis_fixtures"]
+collect_ignore_glob = ["analysis_fixtures/*"]
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:

@@ -1,0 +1,317 @@
+"""Tests for the static-analysis framework (`repro.analysis`).
+
+Three layers:
+
+* fixture trees — every rule family has a seeded-violation module in
+  ``tests/analysis_fixtures/bad`` that must fire, and a repaired twin in
+  ``tests/analysis_fixtures/good`` that must stay silent;
+* the real tree — the committed checkout plus ``ANALYSIS_baseline.json``
+  must produce zero unsuppressed findings and zero stale suppressions,
+  and the serving-layer bugs fixed alongside the analyzer must not
+  reappear;
+* the CLI — exit-code semantics (0 clean / 1 gate failure / 2 usage
+  error), JSON output, baseline-deletion detection, and a seeded-bug
+  end-to-end run against a copied tree.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, run_rules
+from repro.analysis.findings import load_baseline
+from repro.analysis.index import CodeIndex
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+BAD = FIXTURES / "bad"
+GOOD = FIXTURES / "good"
+
+ALL_RULES = sorted(
+    ["CONC001", "CONC002", "CONC003", "CONC004", "SNAP001",
+     "PARITY001", "PARITY002", "DRIFT001", "DRIFT002", "LINT001"]
+)
+
+
+@pytest.fixture(scope="module")
+def bad_findings():
+    return run_rules(CodeIndex.build(BAD))
+
+
+@pytest.fixture(scope="module")
+def good_findings():
+    return run_rules(CodeIndex.build(GOOD))
+
+
+@pytest.fixture(scope="module")
+def repo_findings():
+    return run_rules(CodeIndex.build(REPO))
+
+
+def _of(findings, rule, path_part=None):
+    return [
+        f
+        for f in findings
+        if f.rule == rule and (path_part is None or path_part in f.file)
+    ]
+
+
+def _run_cli(args, cwd=REPO):
+    env = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry sanity
+
+
+def test_all_rule_families_registered():
+    assert set(ALL_RULES) <= set(RULES)
+
+
+def test_unknown_rule_raises_keyerror():
+    with pytest.raises(KeyError):
+        run_rules(CodeIndex.build(GOOD), ["NOPE999"])
+
+
+# ---------------------------------------------------------------------------
+# bad fixture tree: every seeded violation fires with the right shape
+
+
+def test_conc001_lock_order_inversion(bad_findings):
+    hits = _of(bad_findings, "CONC001", "conc_bad.py")
+    assert any("inversion" in f.message and "BadHub" in f.message for f in hits)
+    assert any(
+        "already holding" in f.message and "_shard_locks" in f.message
+        for f in hits
+    )
+
+
+def test_conc002_unguarded_shared_state(bad_findings):
+    hits = _of(bad_findings, "CONC002", "conc_bad.py")
+    attrs = {a for f in hits for a in ("_table", "_counter") if a in f.message}
+    assert attrs == {"_table", "_counter"}
+    assert all("outside any lock" in f.message for f in hits)
+
+
+def test_conc003_blocking_call_under_lock(bad_findings):
+    hits = _of(bad_findings, "CONC003", "conc_bad.py")
+    assert len(hits) == 1
+    assert "put()" in hits[0].message
+    assert "_lock_a" in hits[0].message
+
+
+def test_conc004_blocking_hub_calls_in_coroutines(bad_findings):
+    hits = _of(bad_findings, "CONC004", "async_bad.py")
+    assert len(hits) == 3
+    joined = " ".join(f.message for f in hits)
+    assert "register" in joined
+    assert "close_sensor" in joined
+    assert "time.sleep" in joined
+
+
+def test_snap001_missing_roundtrip_attrs(bad_findings):
+    hits = _of(bad_findings, "SNAP001", "snap_bad.py")
+    attrs = sorted(f.message.split("'")[1] for f in hits)
+    assert attrs == ["_history", "_last_seen"]
+    # _last_seen is mutated only through a local alias; the alias must be
+    # resolved back to the attribute.
+    assert all("BadTracker" in f.message for f in hits)
+
+
+def test_parity001_uncovered_gated_module(bad_findings):
+    hits = _of(bad_findings, "PARITY001", "parity_bad.py")
+    assert len(hits) == 1
+    assert "fixpkg.parity_bad" in hits[0].message
+    assert "never referenced" in hits[0].message
+
+
+def test_parity002_vectorized_without_gate(bad_findings):
+    hits = _of(bad_findings, "PARITY002", "parity_ungated.py")
+    assert len(hits) == 1
+    assert "UngatedFilter" in hits[0].message
+
+
+def test_drift001_undocumented_flag(bad_findings):
+    hits = _of(bad_findings, "DRIFT001", "drift_bad.py")
+    assert len(hits) == 1
+    assert "--widget-level" in hits[0].message
+
+
+def test_drift002_undocumented_metric(bad_findings):
+    hits = _of(bad_findings, "DRIFT002", "drift_bad.py")
+    assert len(hits) == 1
+    assert "repro_fixture_widgets_total" in hits[0].message
+
+
+def test_lint001_unused_import(bad_findings):
+    hits = _of(bad_findings, "LINT001", "lint_bad.py")
+    assert len(hits) == 1
+    assert "'os'" in hits[0].message
+
+
+def test_findings_carry_location_and_suggestion(bad_findings):
+    for f in bad_findings:
+        assert f.file.startswith("src/fixpkg/")
+        assert f.line >= 1
+        assert f.message
+        assert f.suggestion
+        d = f.to_dict()
+        assert d["rule"] == f.rule and d["line"] == f.line
+
+
+# ---------------------------------------------------------------------------
+# good fixture tree: the repaired twins stay silent, per family
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULES)
+def test_good_tree_silent_per_rule(good_findings, rule_id):
+    assert _of(good_findings, rule_id) == []
+
+
+def test_good_tree_fully_silent(good_findings):
+    assert good_findings == []
+
+
+# ---------------------------------------------------------------------------
+# real tree: clean modulo the committed baseline, fixed bugs stay fixed
+
+
+def test_real_tree_clean_modulo_baseline(repo_findings):
+    baseline = load_baseline(REPO / "ANALYSIS_baseline.json")
+    unsuppressed, suppressed, stale = baseline.partition(repo_findings)
+    assert unsuppressed == [], [f.describe() for f in unsuppressed]
+    assert stale == [], [s.describe() for s in stale]
+    assert suppressed  # the baseline documents real, intentional patterns
+
+
+def test_real_tree_parses_everywhere():
+    index = CodeIndex.build(REPO)
+    assert index.errors == []
+    assert "repro.serving.hub" in index.modules
+
+
+def test_fixed_register_is_not_blocking_on_event_loop(repo_findings):
+    # Regression: aioserver._on_hello used to call hub.register() directly
+    # on the event loop; it now goes through asyncio.to_thread.
+    hits = _of(repo_findings, "CONC004", "aioserver.py")
+    assert not any("register" in f.message for f in hits)
+
+
+def test_fixed_process_hub_map_publication(repo_findings):
+    # Regression: _trackers / _pending_migrations / _migrations used to be
+    # written outside _map_lock in ProcessTrackingHub.
+    hits = _of(repo_findings, "CONC002", "process_hub.py")
+    joined = " ".join(f.message for f in hits)
+    for attr in ("'_trackers'", "'_pending_migrations'", "'_migrations'"):
+        assert attr not in joined
+
+
+def test_fixed_hub_migration_counter(repo_findings):
+    hits = _of(repo_findings, "CONC002", "src/repro/serving/hub.py")
+    assert not any("'_migrations'" in f.message for f in hits)
+
+
+# ---------------------------------------------------------------------------
+# CLI: exit codes, JSON, baseline semantics, end-to-end seeded bug
+
+
+def test_cli_check_clean_on_committed_tree():
+    proc = _run_cli(["--check"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout
+
+
+def test_cli_unknown_rule_is_usage_error():
+    proc = _run_cli(["--rule", "NOPE999"])
+    assert proc.returncode == 2
+    assert "NOPE999" in proc.stderr
+
+
+def test_cli_rule_subset_skips_stale_reporting():
+    proc = _run_cli(["--rule", "LINT001", "--check"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 stale suppression(s)" in proc.stdout
+
+
+def test_cli_baseline_without_reason_is_usage_error(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({
+        "suppressions": [{"rule": "CONC001", "file": "x.py", "reason": "  "}]
+    }))
+    proc = _run_cli(["--check", "--baseline", str(bad)])
+    assert proc.returncode == 2
+    assert "reason" in proc.stderr
+
+
+def test_cli_json_report_shape():
+    proc = _run_cli(["--json"])
+    assert proc.returncode == 0
+    report = json.loads(proc.stdout)
+    assert report["findings"] == []
+    assert report["parse_errors"] == []
+    assert len(report["suppressed"]) >= 1
+    for entry in report["suppressed"]:
+        assert {"rule", "file", "line", "message"} <= set(entry)
+
+
+def test_cli_list_names_every_rule():
+    proc = _run_cli(["--list"])
+    assert proc.returncode == 0
+    for rule_id in ALL_RULES:
+        assert rule_id in proc.stdout
+
+
+def test_deleting_any_suppression_fails_the_gate(tmp_path):
+    """Acceptance: removing one baseline entry must flip --check to exit 1
+    and the output must name the now-unsuppressed rule and file:line."""
+    raw = json.loads((REPO / "ANALYSIS_baseline.json").read_text())
+    removed = raw["suppressions"].pop(0)
+    trimmed = tmp_path / "baseline.json"
+    trimmed.write_text(json.dumps(raw))
+    proc = _run_cli(["--check", "--baseline", str(trimmed)])
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert removed["rule"] in proc.stdout
+    assert removed["file"] in proc.stdout
+    # findings print file:line locations
+    assert f"{removed['file']}:" in proc.stdout
+
+
+def test_seeded_bug_in_copied_tree_fails_the_gate(tmp_path):
+    """Acceptance: re-introducing a seeded bad fixture into a copy of the
+    real tree makes --check exit non-zero naming the rule and file."""
+    root = tmp_path / "tree"
+    shutil.copytree(
+        REPO / "src",
+        root / "src",
+        ignore=shutil.ignore_patterns("__pycache__"),
+    )
+    (root / "docs").mkdir()
+    (root / "tests").mkdir()
+    for rel in (
+        "README.md",
+        "docs/ARCHITECTURE.md",
+        "tests/test_event_path_parity.py",
+        "ANALYSIS_baseline.json",
+    ):
+        shutil.copy(REPO / rel, root / rel)
+
+    clean = _run_cli(["--check", "--root", str(root)])
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+
+    seeded_rel = "src/repro/serving/_seeded_bad.py"
+    shutil.copy(BAD / "src/fixpkg/conc_bad.py", root / seeded_rel)
+    proc = _run_cli(["--check", "--root", str(root)])
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "CONC001" in proc.stdout
+    assert seeded_rel in proc.stdout
